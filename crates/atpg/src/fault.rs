@@ -1,0 +1,217 @@
+//! The single stuck-at fault model: enumeration, collapsing, injection.
+
+use netlist::{Gate, Gate2, Netlist, SignalId};
+
+/// Where a stuck-at fault sits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultSite {
+    /// On the output (stem) of a signal — an input, inverter or gate.
+    Stem(SignalId),
+    /// On input pin `pin` (0 or 1) of the two-input gate driving `gate`.
+    Pin {
+        /// The gate whose input pin is faulty.
+        gate: SignalId,
+        /// Which of the two fanins (0 = first, 1 = second).
+        pin: u8,
+    },
+}
+
+/// A single stuck-at fault.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Fault {
+    /// Fault location.
+    pub site: FaultSite,
+    /// Stuck value: `true` = stuck-at-1, `false` = stuck-at-0.
+    pub stuck_at: bool,
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let v = u8::from(self.stuck_at);
+        match self.site {
+            FaultSite::Stem(s) => write!(f, "n{s} stuck-at-{v}"),
+            FaultSite::Pin { gate, pin } => write!(f, "n{gate}.in{pin} stuck-at-{v}"),
+        }
+    }
+}
+
+/// Enumerates the uncollapsed fault universe of the live part of the
+/// netlist: both polarities on every stem and on every gate input pin.
+pub fn enumerate_faults(nl: &Netlist) -> Vec<Fault> {
+    let mut faults = Vec::new();
+    for &s in &nl.live_signals() {
+        match nl.gate(s) {
+            Gate::Const(_) => continue,
+            Gate::Input(_) => {
+                push_both(&mut faults, FaultSite::Stem(s));
+            }
+            Gate::Not(_) => {
+                // The inverter's input pin faults are equivalent to its
+                // stem faults; model the stem only (see `collapse`).
+                push_both(&mut faults, FaultSite::Stem(s));
+            }
+            Gate::Binary(..) => {
+                push_both(&mut faults, FaultSite::Stem(s));
+                push_both(&mut faults, FaultSite::Pin { gate: s, pin: 0 });
+                push_both(&mut faults, FaultSite::Pin { gate: s, pin: 1 });
+            }
+        }
+    }
+    faults
+}
+
+fn push_both(faults: &mut Vec<Fault>, site: FaultSite) {
+    faults.push(Fault { site, stuck_at: false });
+    faults.push(Fault { site, stuck_at: true });
+}
+
+/// Classical structural equivalence collapsing: drops each gate-input
+/// fault that is equivalent to the gate's own stem fault
+/// (AND/NAND input s-a-0, OR/NOR input s-a-1). XOR/XNOR pins never
+/// collapse.
+pub fn collapse(nl: &Netlist, faults: &[Fault]) -> Vec<Fault> {
+    faults
+        .iter()
+        .copied()
+        .filter(|f| {
+            let FaultSite::Pin { gate, .. } = f.site else { return true };
+            match nl.gate(gate) {
+                Gate::Binary(op, _, _) => !matches!(
+                    (op, f.stuck_at),
+                    (Gate2::And, false)
+                        | (Gate2::Nand, false)
+                        | (Gate2::Or, true)
+                        | (Gate2::Nor, true)
+                ),
+                _ => true,
+            }
+        })
+        .collect()
+}
+
+/// Builds the faulty circuit: a copy of `nl` with `fault` injected.
+///
+/// The copy goes through the ordinary constructors, so constant
+/// propagation may structurally simplify it — the *function* is exactly
+/// the faulty function, which is all fault simulation and ATPG need.
+pub fn inject(nl: &Netlist, fault: Fault) -> Netlist {
+    let mut out = Netlist::new();
+    let mut map: Vec<SignalId> = Vec::with_capacity(nl.nodes().len());
+    for (idx, gate) in nl.nodes().iter().enumerate() {
+        let s = idx as SignalId;
+        let mut new_sig = match gate {
+            Gate::Input(name) => out.add_input(name.clone()),
+            Gate::Const(v) => out.constant(*v),
+            Gate::Not(a) => {
+                let fa = map[*a as usize];
+                out.add_not(fa)
+            }
+            Gate::Binary(op, a, b) => {
+                let mut fa = map[*a as usize];
+                let mut fb = map[*b as usize];
+                if let FaultSite::Pin { gate, pin } = fault.site {
+                    if gate == s {
+                        let c = out.constant(fault.stuck_at);
+                        if pin == 0 {
+                            fa = c;
+                        } else {
+                            fb = c;
+                        }
+                    }
+                }
+                out.add_gate(*op, fa, fb)
+            }
+        };
+        if fault.site == FaultSite::Stem(s) {
+            new_sig = out.constant(fault.stuck_at);
+        }
+        map.push(new_sig);
+    }
+    for (name, s) in nl.outputs() {
+        out.add_output(name.clone(), map[*s as usize]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn and_circuit() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(Gate2::And, a, b);
+        nl.add_output("f", g);
+        nl
+    }
+
+    #[test]
+    fn enumeration_counts() {
+        let nl = and_circuit();
+        let faults = enumerate_faults(&nl);
+        // 3 stems (a, b, g) × 2 + 2 pins × 2 = 10.
+        assert_eq!(faults.len(), 10);
+    }
+
+    #[test]
+    fn collapsing_drops_equivalent_pin_faults() {
+        let nl = and_circuit();
+        let faults = collapse(&nl, &enumerate_faults(&nl));
+        // AND pin s-a-0 collapses into the stem; pin s-a-1 stays.
+        assert_eq!(faults.len(), 8);
+        assert!(faults.iter().all(|f| !matches!(
+            (f.site, f.stuck_at),
+            (FaultSite::Pin { .. }, false)
+        )));
+    }
+
+    #[test]
+    fn xor_pins_do_not_collapse() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(Gate2::Xor, a, b);
+        nl.add_output("f", g);
+        let all = enumerate_faults(&nl);
+        assert_eq!(collapse(&nl, &all).len(), all.len());
+    }
+
+    #[test]
+    fn stem_injection_forces_constant() {
+        let nl = and_circuit();
+        let g = nl.outputs()[0].1;
+        let faulty = inject(&nl, Fault { site: FaultSite::Stem(g), stuck_at: true });
+        for vals in [[false, false], [true, false], [true, true]] {
+            assert_eq!(faulty.eval_all(&vals), vec![true]);
+        }
+    }
+
+    #[test]
+    fn pin_injection_changes_function() {
+        let nl = and_circuit();
+        let g = nl.outputs()[0].1;
+        // Pin 0 (input a) stuck-at-1 turns AND(a, b) into b.
+        let faulty =
+            inject(&nl, Fault { site: FaultSite::Pin { gate: g, pin: 0 }, stuck_at: true });
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(faulty.eval_all(&[a, b]), vec![b]);
+        }
+    }
+
+    #[test]
+    fn input_stem_fault() {
+        let nl = and_circuit();
+        let a = nl.inputs()[0];
+        let faulty = inject(&nl, Fault { site: FaultSite::Stem(a), stuck_at: false });
+        assert_eq!(faulty.eval_all(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = Fault { site: FaultSite::Stem(3), stuck_at: true };
+        assert_eq!(f.to_string(), "n3 stuck-at-1");
+        let f = Fault { site: FaultSite::Pin { gate: 4, pin: 1 }, stuck_at: false };
+        assert_eq!(f.to_string(), "n4.in1 stuck-at-0");
+    }
+}

@@ -1,0 +1,594 @@
+//! The BDD manager: node store, unique table, computed cache, garbage
+//! collection.
+
+use std::fmt;
+
+use crate::hash::FxHashMap;
+use crate::varset::MAX_VARS;
+
+/// Index of a BDD variable (`x0, x1, ..`).
+pub type VarId = u32;
+
+/// Sentinel `var` field marking the two terminal nodes.
+const TERMINAL_VAR: u32 = u32::MAX;
+
+/// Level of the terminals: below every variable in any order.
+pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
+
+/// A handle to a Boolean function stored in a [`Bdd`] manager.
+///
+/// Handles are plain indices: cheap to copy, but only meaningful together
+/// with the manager that produced them. Mixing handles across managers is a
+/// logic error (caught by debug assertions where practical).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Func(pub(crate) u32);
+
+impl Func {
+    /// The constant-false function. Valid in every manager.
+    pub const ZERO: Func = Func(0);
+    /// The constant-true function. Valid in every manager.
+    pub const ONE: Func = Func(1);
+
+    /// Returns `true` if this is the constant-false function.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+
+    /// Returns `true` if this is the constant-true function.
+    #[inline]
+    pub fn is_one(self) -> bool {
+        self == Self::ONE
+    }
+
+    /// Returns `true` if this is one of the two constant functions.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// The raw node index, for use as a stable key in external tables.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Func {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Func::ZERO => write!(f, "Func(0=⊥)"),
+            Func::ONE => write!(f, "Func(1=⊤)"),
+            Func(i) => write!(f, "Func({i})"),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Node {
+    pub var: u32,
+    pub low: Func,
+    pub high: Func,
+}
+
+/// Operation tags for the computed cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) enum CacheOp {
+    And,
+    Or,
+    Xor,
+    Diff,
+    Not,
+    Ite,
+    Exists,
+    Forall,
+    AndExists,
+    Restrict,
+    Compose,
+    CofPos,
+    CofNeg,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct CacheKey {
+    pub op: CacheOp,
+    pub a: u32,
+    pub b: u32,
+    pub c: u32,
+}
+
+/// Operation counters of a manager (see [`Bdd::op_stats`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct OpStats {
+    /// `mk` invocations (node constructions requested).
+    pub mk_calls: u64,
+    /// `mk` calls satisfied by the unique table (shared nodes).
+    pub unique_hits: u64,
+    /// Computed-cache lookups across all operators.
+    pub cache_lookups: u64,
+    /// Computed-cache hits.
+    pub cache_hits: u64,
+}
+
+impl OpStats {
+    /// Fraction of cache lookups that hit, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
+}
+
+/// A reduced ordered BDD manager.
+///
+/// Owns the shared node store for any number of functions. See the
+/// [crate-level documentation](crate) for an overview and example.
+///
+/// # Garbage collection
+///
+/// Nodes are never freed implicitly. Long-running clients should
+/// [`protect`](Bdd::protect) the handles they intend to keep and call
+/// [`gc`](Bdd::gc) between operations; everything not reachable from a
+/// protected root is recycled. Handles to collected nodes become invalid.
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: FxHashMap<(u32, u32, u32), u32>,
+    pub(crate) cache: FxHashMap<CacheKey, u32>,
+    var2level: Vec<u32>,
+    level2var: Vec<u32>,
+    protected: FxHashMap<u32, u32>,
+    free: Vec<u32>,
+    gc_runs: usize,
+    op_stats: OpStats,
+}
+
+impl Bdd {
+    /// Creates a manager with `num_vars` variables `x0 .. x{n-1}`, initially
+    /// ordered by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 256` (the [`crate::VarSet`] width).
+    pub fn new(num_vars: usize) -> Self {
+        assert!(num_vars <= MAX_VARS, "at most {MAX_VARS} variables supported");
+        let mut mgr = Bdd {
+            nodes: Vec::with_capacity(1024),
+            unique: FxHashMap::default(),
+            cache: FxHashMap::default(),
+            var2level: (0..num_vars as u32).collect(),
+            level2var: (0..num_vars as u32).collect(),
+            protected: FxHashMap::default(),
+            free: Vec::new(),
+            gc_runs: 0,
+            op_stats: OpStats::default(),
+        };
+        // Slots 0 and 1 are the terminals.
+        mgr.nodes.push(Node { var: TERMINAL_VAR, low: Func::ZERO, high: Func::ZERO });
+        mgr.nodes.push(Node { var: TERMINAL_VAR, low: Func::ONE, high: Func::ONE });
+        mgr
+    }
+
+    /// Number of variables in the manager.
+    pub fn num_vars(&self) -> usize {
+        self.var2level.len()
+    }
+
+    /// Appends a fresh variable at the bottom of the order and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager already holds 256 variables.
+    pub fn add_var(&mut self) -> VarId {
+        let v = self.var2level.len() as u32;
+        assert!((v as usize) < MAX_VARS, "at most {MAX_VARS} variables supported");
+        self.var2level.push(v);
+        self.level2var.push(v);
+        v
+    }
+
+    /// The constant-false function.
+    pub fn zero(&self) -> Func {
+        Func::ZERO
+    }
+
+    /// The constant-true function.
+    pub fn one(&self) -> Func {
+        Func::ONE
+    }
+
+    /// Converts a `bool` into the corresponding constant function.
+    pub fn constant(&self, value: bool) -> Func {
+        if value {
+            Func::ONE
+        } else {
+            Func::ZERO
+        }
+    }
+
+    /// The projection function of variable `v` (the function `x_v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a variable of this manager.
+    pub fn var(&mut self, v: VarId) -> Func {
+        assert!((v as usize) < self.num_vars(), "variable x{v} out of range");
+        self.mk(v, Func::ZERO, Func::ONE)
+    }
+
+    /// The negated projection function `¬x_v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a variable of this manager.
+    pub fn nvar(&mut self, v: VarId) -> Func {
+        assert!((v as usize) < self.num_vars(), "variable x{v} out of range");
+        self.mk(v, Func::ONE, Func::ZERO)
+    }
+
+    /// A single literal: `x_v` if `positive`, else `¬x_v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a variable of this manager.
+    pub fn literal(&mut self, v: VarId, positive: bool) -> Func {
+        if positive {
+            self.var(v)
+        } else {
+            self.nvar(v)
+        }
+    }
+
+    /// Returns the variable labelling the root node of `f`.
+    ///
+    /// Returns `None` for the constant functions.
+    pub fn root_var(&self, f: Func) -> Option<VarId> {
+        if f.is_const() {
+            None
+        } else {
+            Some(self.node(f).var)
+        }
+    }
+
+    /// Low (else) child of a non-constant function's root node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is constant.
+    pub fn low(&self, f: Func) -> Func {
+        assert!(!f.is_const(), "constants have no cofactors");
+        self.node(f).low
+    }
+
+    /// High (then) child of a non-constant function's root node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is constant.
+    pub fn high(&self, f: Func) -> Func {
+        assert!(!f.is_const(), "constants have no cofactors");
+        self.node(f).high
+    }
+
+    /// The level (depth in the current order) at which variable `v` sits.
+    pub fn level_of_var(&self, v: VarId) -> u32 {
+        self.var2level[v as usize]
+    }
+
+    /// The variable sitting at `level` in the current order.
+    pub fn var_at_level(&self, level: u32) -> VarId {
+        self.level2var[level as usize]
+    }
+
+    /// Current variable order, as the sequence of variables from top level
+    /// to bottom.
+    pub fn order(&self) -> &[VarId] {
+        &self.level2var
+    }
+
+    #[inline]
+    pub(crate) fn node(&self, f: Func) -> &Node {
+        &self.nodes[f.0 as usize]
+    }
+
+    /// Level of the root of `f` in the current order (terminals are below
+    /// everything).
+    #[inline]
+    pub(crate) fn level(&self, f: Func) -> u32 {
+        let v = self.nodes[f.0 as usize].var;
+        if v == TERMINAL_VAR {
+            TERMINAL_LEVEL
+        } else {
+            self.var2level[v as usize]
+        }
+    }
+
+    /// Hash-conses the node `(var, low, high)`, applying the reduction rules.
+    pub(crate) fn mk(&mut self, var: VarId, low: Func, high: Func) -> Func {
+        self.op_stats.mk_calls += 1;
+        if low == high {
+            return low;
+        }
+        debug_assert!(
+            self.var2level[var as usize] < self.level(low)
+                && self.var2level[var as usize] < self.level(high),
+            "mk: children must be below x{var} in the variable order"
+        );
+        let key = (var, low.0, high.0);
+        if let Some(&id) = self.unique.get(&key) {
+            self.op_stats.unique_hits += 1;
+            return Func(id);
+        }
+        let node = Node { var, low, high };
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = node;
+                slot
+            }
+            None => {
+                let id = self.nodes.len() as u32;
+                self.nodes.push(node);
+                id
+            }
+        };
+        self.unique.insert(key, id);
+        Func(id)
+    }
+
+    /// Number of live (allocated, not freed) nodes including terminals.
+    pub fn total_nodes(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Number of entries currently in the computed cache.
+    pub fn cache_entries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Marks `f` as an external root: `f` and everything it references
+    /// survives [`gc`](Bdd::gc). Protection is counted; each call must be
+    /// matched by one [`unprotect`](Bdd::unprotect).
+    pub fn protect(&mut self, f: Func) {
+        *self.protected.entry(f.0).or_insert(0) += 1;
+    }
+
+    /// Releases one protection of `f` (see [`protect`](Bdd::protect)).
+    ///
+    /// Unprotecting a handle that is not protected is a no-op.
+    pub fn unprotect(&mut self, f: Func) {
+        if let Some(count) = self.protected.get_mut(&f.0) {
+            *count -= 1;
+            if *count == 0 {
+                self.protected.remove(&f.0);
+            }
+        }
+    }
+
+    /// Mark-and-sweep garbage collection from the protected roots.
+    ///
+    /// Returns the number of nodes freed. All unprotected handles become
+    /// invalid; the computed cache is cleared. Never call while holding
+    /// unprotected intermediates you still need.
+    pub fn gc(&mut self) -> usize {
+        self.gc_runs += 1;
+        let mut marked = vec![false; self.nodes.len()];
+        marked[0] = true;
+        marked[1] = true;
+        let mut stack: Vec<u32> = self.protected.keys().copied().collect();
+        while let Some(id) = stack.pop() {
+            if marked[id as usize] {
+                continue;
+            }
+            marked[id as usize] = true;
+            let node = self.nodes[id as usize];
+            if node.var != TERMINAL_VAR {
+                stack.push(node.low.0);
+                stack.push(node.high.0);
+            }
+        }
+        let already_free: std::collections::HashSet<u32> = self.free.iter().copied().collect();
+        let mut freed = 0;
+        for id in 2..self.nodes.len() as u32 {
+            if !marked[id as usize] && !already_free.contains(&id) {
+                let node = self.nodes[id as usize];
+                self.unique.remove(&(node.var, node.low.0, node.high.0));
+                self.free.push(id);
+                freed += 1;
+            }
+        }
+        self.cache.clear();
+        freed
+    }
+
+    /// Number of completed [`gc`](Bdd::gc) runs (diagnostics).
+    pub fn gc_runs(&self) -> usize {
+        self.gc_runs
+    }
+
+    /// Clears the computed cache (useful in benchmarks to measure cold-cache
+    /// performance).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    pub(crate) fn set_order_raw(&mut self, var2level: Vec<u32>, level2var: Vec<VarId>) {
+        debug_assert_eq!(var2level.len(), level2var.len());
+        self.var2level = var2level;
+        self.level2var = level2var;
+    }
+
+    #[inline]
+    pub(crate) fn cache_get(&mut self, key: &CacheKey) -> Option<Func> {
+        self.op_stats.cache_lookups += 1;
+        let hit = self.cache.get(key).copied();
+        if hit.is_some() {
+            self.op_stats.cache_hits += 1;
+        }
+        hit.map(Func)
+    }
+
+    #[inline]
+    pub(crate) fn cache_put(&mut self, key: CacheKey, value: Func) {
+        self.cache.insert(key, value.0);
+    }
+
+    /// Operation counters accumulated since construction (or the last
+    /// [`reset_op_stats`](Bdd::reset_op_stats)).
+    pub fn op_stats(&self) -> OpStats {
+        self.op_stats
+    }
+
+    /// Resets the operation counters.
+    pub fn reset_op_stats(&mut self) {
+        self.op_stats = OpStats::default();
+    }
+}
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bdd")
+            .field("num_vars", &self.num_vars())
+            .field("total_nodes", &self.total_nodes())
+            .field("cache_entries", &self.cache.len())
+            .field("protected_roots", &self.protected.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_are_fixed() {
+        let mgr = Bdd::new(2);
+        assert!(mgr.zero().is_zero());
+        assert!(mgr.one().is_one());
+        assert!(mgr.zero().is_const());
+        assert_eq!(mgr.constant(true), mgr.one());
+        assert_eq!(mgr.constant(false), mgr.zero());
+        assert_eq!(mgr.total_nodes(), 2);
+    }
+
+    #[test]
+    fn mk_is_canonical() {
+        let mut mgr = Bdd::new(2);
+        let a1 = mgr.var(0);
+        let a2 = mgr.var(0);
+        assert_eq!(a1, a2, "hash consing must return identical handles");
+        assert_eq!(mgr.total_nodes(), 3);
+        // Reduction: equal children collapse.
+        let c = mgr.mk(1, a1, a1);
+        assert_eq!(c, a1);
+    }
+
+    #[test]
+    fn var_structure() {
+        let mut mgr = Bdd::new(3);
+        let b = mgr.var(1);
+        assert_eq!(mgr.root_var(b), Some(1));
+        assert_eq!(mgr.low(b), Func::ZERO);
+        assert_eq!(mgr.high(b), Func::ONE);
+        let nb = mgr.nvar(1);
+        assert_eq!(mgr.low(nb), Func::ONE);
+        assert_eq!(mgr.high(nb), Func::ZERO);
+        assert_eq!(mgr.literal(1, true), b);
+        assert_eq!(mgr.literal(1, false), nb);
+        assert_eq!(mgr.root_var(Func::ONE), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn var_out_of_range_panics() {
+        let mut mgr = Bdd::new(2);
+        let _ = mgr.var(2);
+    }
+
+    #[test]
+    fn add_var_extends_order() {
+        let mut mgr = Bdd::new(1);
+        let v = mgr.add_var();
+        assert_eq!(v, 1);
+        assert_eq!(mgr.num_vars(), 2);
+        let _ = mgr.var(1);
+        assert_eq!(mgr.level_of_var(1), 1);
+        assert_eq!(mgr.var_at_level(1), 1);
+        assert_eq!(mgr.order(), &[0, 1]);
+    }
+
+    #[test]
+    fn gc_frees_unprotected_nodes() {
+        let mut mgr = Bdd::new(4);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let keep = mgr.and(a, b);
+        let _scratch = {
+            let c = mgr.var(2);
+            let d = mgr.var(3);
+            mgr.or(c, d)
+        };
+        mgr.protect(keep);
+        let before = mgr.total_nodes();
+        let freed = mgr.gc();
+        assert!(freed > 0, "scratch nodes must be collected");
+        assert!(mgr.total_nodes() < before);
+        // The protected function still works.
+        assert!(mgr.eval(keep, &[true, true, false, false]));
+        assert!(!mgr.eval(keep, &[true, false, false, false]));
+        mgr.unprotect(keep);
+    }
+
+    #[test]
+    fn gc_reuses_slots() {
+        let mut mgr = Bdd::new(2);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = mgr.and(a, b);
+        mgr.protect(a);
+        mgr.protect(b);
+        let f_index = f.index();
+        mgr.gc();
+        // Rebuilding the same function reuses a freed slot.
+        let g = mgr.and(a, b);
+        assert_eq!(g.index(), f_index);
+    }
+
+    #[test]
+    fn op_stats_count_work() {
+        let mut mgr = Bdd::new(3);
+        assert_eq!(mgr.op_stats(), OpStats::default());
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = mgr.and(a, b);
+        let stats = mgr.op_stats();
+        assert!(stats.mk_calls >= 3, "two vars and one AND node");
+        // Repeating the same operation hits the computed cache.
+        let lookups_before = mgr.op_stats().cache_lookups;
+        let g = mgr.and(a, b);
+        assert_eq!(f, g);
+        let stats = mgr.op_stats();
+        assert!(stats.cache_lookups > lookups_before);
+        assert!(stats.cache_hits >= 1);
+        assert!(stats.cache_hit_rate() > 0.0);
+        mgr.reset_op_stats();
+        assert_eq!(mgr.op_stats(), OpStats::default());
+        assert_eq!(OpStats::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn protect_is_counted() {
+        let mut mgr = Bdd::new(2);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = mgr.and(a, b);
+        mgr.protect(f);
+        mgr.protect(f);
+        mgr.unprotect(f);
+        mgr.gc();
+        // Still protected: must survive.
+        assert!(mgr.eval(f, &[true, true]));
+        mgr.unprotect(f);
+        mgr.unprotect(f); // extra unprotect is a no-op
+    }
+}

@@ -1,0 +1,239 @@
+//! Property-based tests: random expression trees are built both as BDDs and
+//! as dense truth tables; every operator and structural query must agree.
+
+use bdd::{Bdd, Func, VarSet};
+use proptest::prelude::*;
+
+const NUM_VARS: usize = 6;
+
+/// A random Boolean expression over `NUM_VARS` variables.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(u32),
+    Const(bool),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0u32..NUM_VARS as u32).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(mgr: &mut Bdd, e: &Expr) -> Func {
+    match e {
+        Expr::Var(v) => mgr.var(*v),
+        Expr::Const(b) => mgr.constant(*b),
+        Expr::Not(a) => {
+            let fa = build(mgr, a);
+            mgr.not(fa)
+        }
+        Expr::And(a, b) => {
+            let fa = build(mgr, a);
+            let fb = build(mgr, b);
+            mgr.and(fa, fb)
+        }
+        Expr::Or(a, b) => {
+            let fa = build(mgr, a);
+            let fb = build(mgr, b);
+            mgr.or(fa, fb)
+        }
+        Expr::Xor(a, b) => {
+            let fa = build(mgr, a);
+            let fb = build(mgr, b);
+            mgr.xor(fa, fb)
+        }
+    }
+}
+
+fn eval_expr(e: &Expr, vals: &[bool]) -> bool {
+    match e {
+        Expr::Var(v) => vals[*v as usize],
+        Expr::Const(b) => *b,
+        Expr::Not(a) => !eval_expr(a, vals),
+        Expr::And(a, b) => eval_expr(a, vals) && eval_expr(b, vals),
+        Expr::Or(a, b) => eval_expr(a, vals) || eval_expr(b, vals),
+        Expr::Xor(a, b) => eval_expr(a, vals) ^ eval_expr(b, vals),
+    }
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..1u32 << NUM_VARS).map(|bits| (0..NUM_VARS).map(|k| bits & (1 << k) != 0).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bdd_matches_expression_semantics(e in expr_strategy()) {
+        let mut mgr = Bdd::new(NUM_VARS);
+        let f = build(&mut mgr, &e);
+        for vals in assignments() {
+            prop_assert_eq!(mgr.eval(f, &vals), eval_expr(&e, &vals));
+        }
+    }
+
+    #[test]
+    fn canonicity_equal_semantics_equal_handles(a in expr_strategy(), b in expr_strategy()) {
+        let mut mgr = Bdd::new(NUM_VARS);
+        let fa = build(&mut mgr, &a);
+        let fb = build(&mut mgr, &b);
+        let semantically_equal =
+            assignments().all(|vals| eval_expr(&a, &vals) == eval_expr(&b, &vals));
+        prop_assert_eq!(fa == fb, semantically_equal);
+    }
+
+    #[test]
+    fn sat_count_matches_enumeration(e in expr_strategy()) {
+        let mut mgr = Bdd::new(NUM_VARS);
+        let f = build(&mut mgr, &e);
+        let expected = assignments().filter(|vals| eval_expr(&e, vals)).count();
+        prop_assert_eq!(mgr.sat_count(f) as usize, expected);
+    }
+
+    #[test]
+    fn quantifiers_match_enumeration(e in expr_strategy(), mask in 0u32..(1 << NUM_VARS)) {
+        let mut mgr = Bdd::new(NUM_VARS);
+        let f = build(&mut mgr, &e);
+        let vars: VarSet = (0..NUM_VARS as u32).filter(|v| mask & (1 << v) != 0).collect();
+        let ex = mgr.exists_set(f, &vars);
+        let all = mgr.forall_set(f, &vars);
+        for vals in assignments() {
+            // Enumerate all reassignments of the quantified variables.
+            let mut any = false;
+            let mut every = true;
+            let quantified: Vec<usize> = vars.iter().map(|v| v as usize).collect();
+            for sub in 0..1u32 << quantified.len() {
+                let mut vals2 = vals.clone();
+                for (k, &q) in quantified.iter().enumerate() {
+                    vals2[q] = sub & (1 << k) != 0;
+                }
+                let r = eval_expr(&e, &vals2);
+                any |= r;
+                every &= r;
+            }
+            prop_assert_eq!(mgr.eval(ex, &vals), any);
+            prop_assert_eq!(mgr.eval(all, &vals), every);
+        }
+    }
+
+    #[test]
+    fn and_exists_matches_sequential(a in expr_strategy(), b in expr_strategy(),
+                                     mask in 0u32..(1 << NUM_VARS)) {
+        let mut mgr = Bdd::new(NUM_VARS);
+        let fa = build(&mut mgr, &a);
+        let fb = build(&mut mgr, &b);
+        let vars: VarSet = (0..NUM_VARS as u32).filter(|v| mask & (1 << v) != 0).collect();
+        let cube = mgr.cube(&vars);
+        let fused = mgr.and_exists(fa, fb, cube);
+        let conj = mgr.and(fa, fb);
+        let seq = mgr.exists(conj, cube);
+        prop_assert_eq!(fused, seq);
+    }
+
+    #[test]
+    fn restrict_agrees_on_care(f in expr_strategy(), care in expr_strategy()) {
+        let mut mgr = Bdd::new(NUM_VARS);
+        let ff = build(&mut mgr, &f);
+        let cc = build(&mut mgr, &care);
+        let g = mgr.restrict(ff, cc);
+        let lhs = mgr.and(g, cc);
+        let rhs = mgr.and(ff, cc);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn support_is_semantic_dependence(e in expr_strategy()) {
+        let mut mgr = Bdd::new(NUM_VARS);
+        let f = build(&mut mgr, &e);
+        let support = mgr.support(f);
+        for v in 0..NUM_VARS as u32 {
+            let c0 = mgr.cofactor(f, v, false);
+            let c1 = mgr.cofactor(f, v, true);
+            prop_assert_eq!(support.contains(v), c0 != c1);
+        }
+    }
+
+    #[test]
+    fn pick_cube_lies_inside_f(e in expr_strategy()) {
+        let mut mgr = Bdd::new(NUM_VARS);
+        let f = build(&mut mgr, &e);
+        match mgr.pick_cube(f) {
+            None => prop_assert!(f.is_zero()),
+            Some(cube) => {
+                prop_assert!(mgr.is_cube(cube));
+                prop_assert!(mgr.implies(cube, f));
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_preserves_semantics_random_order(e in expr_strategy(), seed in any::<u64>()) {
+        let mut mgr = Bdd::new(NUM_VARS);
+        let f = build(&mut mgr, &e);
+        // Derive a permutation from the seed (Fisher–Yates with an LCG).
+        let mut order: Vec<u32> = (0..NUM_VARS as u32).collect();
+        let mut state = seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let roots = mgr.reorder(&order, &[f]);
+        for vals in assignments() {
+            prop_assert_eq!(mgr.eval(roots[0], &vals), eval_expr(&e, &vals));
+        }
+    }
+
+    #[test]
+    fn isop_covers_are_sound_and_inside(lo in expr_strategy(), extra in expr_strategy()) {
+        let mut mgr = Bdd::new(NUM_VARS);
+        let flo_raw = build(&mut mgr, &lo);
+        let fextra = build(&mut mgr, &extra);
+        let fhi = mgr.or(flo_raw, fextra); // guarantees lower ≤ upper
+        let (f, cubes) = mgr.isop(flo_raw, fhi);
+        let built = mgr.cover_function(&cubes);
+        prop_assert_eq!(built, f);
+        prop_assert!(mgr.implies(flo_raw, f));
+        prop_assert!(mgr.implies(f, fhi));
+        // Irredundancy: dropping any cube loses part of the lower bound.
+        for skip in 0..cubes.len() {
+            let reduced: Vec<_> = cubes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| (i != skip).then(|| c.clone()))
+                .collect();
+            let g = mgr.cover_function(&reduced);
+            prop_assert!(!mgr.implies(flo_raw, g), "cube {} redundant", skip);
+        }
+    }
+
+    #[test]
+    fn gc_preserves_protected_functions(e in expr_strategy()) {
+        let mut mgr = Bdd::new(NUM_VARS);
+        let f = build(&mut mgr, &e);
+        mgr.protect(f);
+        mgr.gc();
+        for vals in assignments() {
+            prop_assert_eq!(mgr.eval(f, &vals), eval_expr(&e, &vals));
+        }
+        // After GC the manager must still be fully usable.
+        let g = build(&mut mgr, &e);
+        prop_assert_eq!(g, f);
+        mgr.unprotect(f);
+    }
+}

@@ -1,0 +1,48 @@
+//! Ablation of the design choices the paper calls out: EXOR gates (§3.2),
+//! the component-reuse cache (§6), strong vs. weak-only decomposition
+//! (§8's BDS analysis), and the static variable-ordering heuristic.
+
+use bidecomp::Options;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn variants() -> Vec<(&'static str, Options)> {
+    vec![
+        ("default", Options::default()),
+        ("no_exor", Options { use_exor: false, ..Options::default() }),
+        ("no_cache", Options { use_cache: false, ..Options::default() }),
+        ("weak_only", Options::weak_only()),
+        ("no_freq_order", Options { order_by_frequency: false, ..Options::default() }),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for name in ["9sym", "rd84", "alu2"] {
+        let b = benchmarks::by_name(name).expect("known");
+        for (variant, options) in variants() {
+            group.bench_with_input(
+                BenchmarkId::new(variant, name),
+                &(b.pla.clone(), options),
+                |bch, (pla, options)| {
+                    bch.iter(|| {
+                        let outcome = bidecomp::decompose_pla(pla, options);
+                        assert!(outcome.verified);
+                        black_box((outcome.netlist.stats().gates, outcome.stats.calls))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_ablation
+}
+criterion_main!(benches);

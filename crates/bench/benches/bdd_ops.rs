@@ -1,0 +1,89 @@
+//! Microbenchmarks of the BDD substrate: the operators the decomposition
+//! formulas lean on (apply, quantification, derivation of component ISFs).
+
+use bdd::{Bdd, Func, VarSet};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn sym9_bdd(mgr: &mut Bdd) -> Func {
+    // 9sym built arithmetically: ones-count in 3..=6 via a chain of adders
+    // is overkill; build from minterms of the symmetric structure instead.
+    let mut f = Func::ZERO;
+    for m in 0..1u32 << 9 {
+        let c = m.count_ones();
+        if (3..=6).contains(&c) {
+            let mut cube = Func::ONE;
+            for v in 0..9 {
+                let lit = mgr.literal(v, m & (1 << v) != 0);
+                cube = mgr.and(cube, lit);
+            }
+            f = mgr.or(f, cube);
+        }
+    }
+    f
+}
+
+fn bench_apply(c: &mut Criterion) {
+    c.bench_function("bdd/and_or_xor_sym9", |b| {
+        let mut mgr = Bdd::new(9);
+        let f = sym9_bdd(&mut mgr);
+        let g = mgr.not(f);
+        b.iter(|| {
+            mgr.clear_cache();
+            let x = mgr.and(black_box(f), black_box(g));
+            let y = mgr.or(f, g);
+            let z = mgr.xor(f, g);
+            black_box((x, y, z))
+        })
+    });
+}
+
+fn bench_quantification(c: &mut Criterion) {
+    c.bench_function("bdd/exists_forall_sym9", |b| {
+        let mut mgr = Bdd::new(9);
+        let f = sym9_bdd(&mut mgr);
+        let cube = mgr.cube(&VarSet::from_iter([0u32, 2, 4, 6]));
+        b.iter(|| {
+            mgr.clear_cache();
+            let e = mgr.exists(black_box(f), cube);
+            let a = mgr.forall(f, cube);
+            black_box((e, a))
+        })
+    });
+}
+
+fn bench_or_check(c: &mut Criterion) {
+    // The Theorem 1 check on a decomposable structure.
+    c.bench_function("bdd/theorem1_check", |b| {
+        let mut mgr = Bdd::new(16);
+        let mut f = Func::ZERO;
+        for i in 0..4 {
+            let mut t = Func::ONE;
+            for v in 4 * i..4 * i + 4 {
+                let x = mgr.var(v);
+                t = mgr.and(t, x);
+            }
+            f = mgr.or(f, t);
+        }
+        let r = mgr.not(f);
+        let ca = mgr.cube(&VarSet::from_iter(0u32..8));
+        let cb = mgr.cube(&VarSet::from_iter(8u32..16));
+        b.iter(|| {
+            mgr.clear_cache();
+            let ra = mgr.exists(black_box(r), ca);
+            let rb = mgr.exists(r, cb);
+            let t = mgr.and(ra, rb);
+            black_box(mgr.disjoint(f, t))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_apply, bench_quantification, bench_or_check
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Regenerates the measurements behind Tables 2 and 3 under Criterion
+//! timing: one benchmark id per (table, circuit, system) triple.
+
+use bidecomp::Options;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    // The quick half of the suite; the heavyweights (16sym8, cps) are
+    // covered by the `table2` binary, which runs them once.
+    for name in ["9sym", "alu2", "duke2", "e64", "misex3", "pdc", "spla", "vg2"] {
+        let b = benchmarks::by_name(name).expect("known");
+        group.bench_with_input(BenchmarkId::new("bidecomp", name), &b.pla, |bch, pla| {
+            bch.iter(|| black_box(bidecomp::decompose_pla(pla, &Options::default()).netlist.stats().area))
+        });
+        group.bench_with_input(BenchmarkId::new("sis_like", name), &b.pla, |bch, pla| {
+            bch.iter(|| black_box(baseline::sis_like(pla).stats().area))
+        });
+    }
+    group.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    for name in ["5xp1", "9sym", "alu2", "cordic", "rd84", "t481"] {
+        let b = benchmarks::by_name(name).expect("known");
+        group.bench_with_input(BenchmarkId::new("bidecomp", name), &b.pla, |bch, pla| {
+            bch.iter(|| black_box(bidecomp::decompose_pla(pla, &Options::default()).netlist.stats().gates))
+        });
+        group.bench_with_input(BenchmarkId::new("bds_like", name), &b.pla, |bch, pla| {
+            bch.iter(|| black_box(baseline::bds_like(pla).stats().gates))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_table2, bench_table3
+}
+criterion_main!(benches);

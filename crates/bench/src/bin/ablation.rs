@@ -1,0 +1,45 @@
+//! Quality ablation of the design decisions §5–§6 call out: what each
+//! mechanism buys in gates, EXORs, levels and area.
+//!
+//! Rows: benchmark × configuration. The `default` row is the paper's
+//! configuration; each other row disables exactly one mechanism.
+
+use bidecomp::Options;
+
+fn variants() -> Vec<(&'static str, Options)> {
+    vec![
+        ("default", Options::default()),
+        ("no_exor", Options { use_exor: false, ..Options::default() }),
+        ("no_cache", Options { use_cache: false, ..Options::default() }),
+        ("weak_only", Options::weak_only()),
+        ("no_freq_order", Options { order_by_frequency: false, ..Options::default() }),
+        ("no_inessential", Options { remove_inessential: false, ..Options::default() }),
+    ]
+}
+
+fn main() {
+    println!(
+        "{:8} {:14} {:>6} {:>6} {:>5} {:>8} {:>7} {:>8} {:>8}",
+        "bench", "variant", "gates", "exors", "casc", "area", "calls", "cache%", "time,s"
+    );
+    for name in ["9sym", "rd84", "alu2", "t481", "5xp1", "misex3"] {
+        let b = benchmarks::by_name(name).expect("known benchmark");
+        for (variant, options) in variants() {
+            let (row, outcome) = bench::run_bidecomp(name, &b.pla, &options);
+            assert!(outcome.verified, "{name}/{variant}");
+            println!(
+                "{:8} {:14} {:>6} {:>6} {:>5} {:>8.0} {:>7} {:>7.1}% {:>8.3}",
+                name,
+                variant,
+                row.gates,
+                row.exors,
+                row.cascades,
+                row.area,
+                outcome.stats.calls,
+                100.0 * outcome.stats.cache_hit_rate(),
+                row.time_s
+            );
+        }
+        println!();
+    }
+}

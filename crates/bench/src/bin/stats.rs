@@ -1,0 +1,33 @@
+//! Reproduces the §7 instrumentation claims: the rates of weak
+//! decompositions, component reuse (cache hits) and inessential variables
+//! across the benchmark suite.
+
+use bidecomp::{Options, Stats};
+
+fn main() {
+    println!("Per-benchmark decomposition statistics (paper §7):");
+    println!(
+        "{:8} {:>7} {:>9} {:>9} {:>11} {:>12}",
+        "name", "calls", "weak%", "cache%", "inessent.%", "shannon"
+    );
+    let mut merged = Stats::default();
+    for b in benchmarks::all() {
+        let (_, outcome) = bench::run_bidecomp(b.name, &b.pla, &Options::default());
+        let s = outcome.stats;
+        println!(
+            "{:8} {:>7} {:>8.1}% {:>8.1}% {:>10.2}% {:>12}",
+            b.name,
+            s.calls,
+            100.0 * s.weak_rate(),
+            100.0 * s.cache_hit_rate(),
+            100.0 * s.inessential_rate(),
+            s.shannon
+        );
+        merged.merge(&s);
+    }
+    println!();
+    println!("Suite totals:\n{merged}");
+    println!();
+    println!("Paper's claims: weak in 20-30% of calls; up to 20% component reuse;");
+    println!("inessential variables in <1% of calls.");
+}

@@ -1,0 +1,49 @@
+//! Regenerates the paper's Table 2: BI-DECOMP vs. the SIS-substitute over
+//! the MCNC suite, with the paper's measurement columns.
+
+use bidecomp::Options;
+
+fn main() {
+    println!("Table 2: comparison with the SIS-substitute (left: SIS-like, right: BI-DECOMP)");
+    println!("{}", bench::table2_header());
+    let mut sis_area_total = 0.0;
+    let mut bi_area_total = 0.0;
+    let mut sis_delay_total = 0.0;
+    let mut bi_delay_total = 0.0;
+    let mut wins_area = 0;
+    let mut wins_delay = 0;
+    let suite = benchmarks::table2();
+    for b in &suite {
+        let sis = bench::run_sis(b.name, &b.pla);
+        let (bi, outcome) = bench::run_bidecomp(b.name, &b.pla, &Options::default());
+        assert!(outcome.verified, "{}: verification failed", b.name);
+        println!("{}", bench::table2_row(&sis, &bi));
+        sis_area_total += sis.area;
+        bi_area_total += bi.area;
+        sis_delay_total += sis.delay;
+        bi_delay_total += bi.delay;
+        if bi.area <= sis.area {
+            wins_area += 1;
+        }
+        if bi.delay <= sis.delay {
+            wins_delay += 1;
+        }
+    }
+    println!();
+    println!(
+        "totals: area {:.0} (SIS-like) vs {:.0} (BI-DECOMP), ratio {:.2}x",
+        sis_area_total,
+        bi_area_total,
+        sis_area_total / bi_area_total
+    );
+    println!(
+        "        delay {:.1} vs {:.1}, ratio {:.2}x; BI-DECOMP wins area on {}/{} and delay on {}/{}",
+        sis_delay_total,
+        bi_delay_total,
+        sis_delay_total / bi_delay_total,
+        wins_area,
+        suite.len(),
+        wins_delay,
+        suite.len()
+    );
+}

@@ -1,0 +1,35 @@
+//! MCNC-style benchmark workloads for the BI-DECOMP evaluation.
+//!
+//! The paper evaluates on MCNC PLA benchmarks. This crate regenerates the
+//! workloads as PLA values (consumed through the same `pla` reader a file
+//! on disk would use):
+//!
+//! * Functions with **public definitions** are implemented exactly:
+//!   `9sym`, `16Sym8` (the paper's polarity vector), `rd73`/`rd84`
+//!   (ones-count), the arithmetic `5xp1`.
+//! * The remaining MCNC circuits (`alu2`, `alu4`, `cps`, `duke2`, `e64`,
+//!   `misex3`, `pdc`, `spla`, `vg2`, `cordic`, `t481`) are **structurally
+//!   faithful synthetics**: identical input/output counts as the
+//!   originals and the same functional character (ALU arithmetic, sparse
+//!   windowed cube logic, priority chains, EXOR-rich trees), generated
+//!   deterministically from fixed seeds. See DESIGN.md §3 for the
+//!   substitution rationale.
+//!
+//! ```
+//! let b = benchmarks::by_name("9sym").expect("known benchmark");
+//! assert_eq!(b.pla.num_inputs(), 9);
+//! assert_eq!(b.pla.num_outputs(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cube_gen;
+mod exact;
+mod expr_gen;
+mod suite;
+
+pub use cube_gen::{structured_pla, SynthSpec};
+pub use expr_gen::{expression_pla, ExprSpec};
+pub use exact::{alu, pla_from_fn, rate_pla, symmetric_pla};
+pub use suite::{all, by_name, table2, table3, Benchmark, Provenance};

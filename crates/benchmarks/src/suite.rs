@@ -1,0 +1,359 @@
+//! The named benchmark suite of Tables 2 and 3.
+
+use pla::Pla;
+
+use crate::cube_gen::{structured_pla, SynthSpec};
+use crate::exact::{alu, pla_from_fn, rate_pla, symmetric_pla};
+use crate::expr_gen::{expression_pla, ExprSpec};
+
+/// Where a workload's definition comes from (see DESIGN.md §3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Provenance {
+    /// Public definition, implemented exactly.
+    Exact,
+    /// Structurally faithful synthetic with the original's I/O shape.
+    Synthetic,
+}
+
+/// A named benchmark workload.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// The MCNC-style benchmark name (e.g. `"9sym"`).
+    pub name: &'static str,
+    /// The workload as a PLA.
+    pub pla: Pla,
+    /// Exact or synthetic (see DESIGN.md §3).
+    pub provenance: Provenance,
+}
+
+fn bench(name: &'static str, provenance: Provenance, pla: Pla) -> Benchmark {
+    Benchmark { name, pla, provenance }
+}
+
+/// Builds a benchmark by its MCNC name. Returns `None` for unknown names.
+///
+/// Supported: `9sym`, `16sym8`, `alu2`, `alu4`, `rd73`, `rd84`, `5xp1`,
+/// `t481`, `cps`, `duke2`, `e64`, `misex1`, `misex3`, `pdc`, `spla`,
+/// `vg2`, `cordic`, `con1`.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    use Provenance::{Exact, Synthetic};
+    Some(match name {
+        // ---- exact public definitions -------------------------------
+        // 9sym: 1 iff between 3 and 6 of the 9 inputs are 1.
+        "9sym" => bench(
+            "9sym",
+            Exact,
+            symmetric_pla(9, &[
+                false, false, false, true, true, true, true, false, false, false,
+            ]),
+        ),
+        // 16Sym8: the paper's 16-variable totally symmetric function with
+        // polarity 0000111101111110 over the ones-count.
+        "16sym8" => {
+            let polarity = "0000111101111110";
+            let values: Vec<bool> = polarity.bytes().map(|b| b == b'1').collect();
+            bench("16sym8", Exact, symmetric_pla(16, &values))
+        }
+        // rd73/rd84: binary ones-count.
+        "rd73" => bench("rd73", Exact, rate_pla(7, 3)),
+        "rd84" => bench("rd84", Exact, rate_pla(8, 4)),
+        // 5xp1: the arithmetic function 5·x + 1 of a 7-bit operand,
+        // 10 output bits (the classical reading of the benchmark's name).
+        "5xp1" => bench(
+            "5xp1",
+            Exact,
+            pla_from_fn(7, 10, |m| (5 * m as u64 + 1) & 0x3ff),
+        ),
+        // ---- structurally faithful synthetics ----------------------
+        // alu2 (10/6) and alu4 (14/8): compact ALUs with the original
+        // benchmarks' I/O shapes.
+        "alu2" => bench("alu2", Synthetic, alu(3, 4)),
+        "alu4" => bench("alu4", Synthetic, alu(5, 4)),
+        // t481 (16/1): an EXOR-rich two-level tree — the character that
+        // makes the real t481 collapse under bi-decomposition.
+        "t481" => bench(
+            "t481",
+            Synthetic,
+            pla_from_fn(16, 1, |m| {
+                let g = |base: u32| {
+                    let x = |k: u32| m >> (base + k) & 1 != 0;
+                    ((x(0) == x(1)) && (x(2) == x(3))) || ((x(4) ^ x(5)) && (x(6) ^ x(7)))
+                };
+                u64::from(g(0) ^ g(8))
+            }),
+        ),
+        // cordic (23/2): deep mostly-AND/OR trees with an EXOR sprinkle
+        // (quadrant/sign logic character).
+        "cordic" => bench(
+            "cordic",
+            Synthetic,
+            expression_pla(&ExprSpec {
+                num_inputs: 23,
+                num_outputs: 2,
+                window: 10,
+                depth: 5,
+                xor_weight: 0.2,
+                dc_fraction: 0.0,
+                seed: 0xC04D1C,
+            }),
+        ),
+        // cps (24/109): wide control logic — many outputs over narrow,
+        // overlapping windows, multi-level structure.
+        "cps" => bench(
+            "cps",
+            Synthetic,
+            expression_pla(&ExprSpec {
+                num_inputs: 24,
+                num_outputs: 109,
+                window: 8,
+                depth: 4,
+                xor_weight: 0.15,
+                dc_fraction: 0.0,
+                seed: 0x0C75,
+            }),
+        ),
+        // duke2 (22/29).
+        "duke2" => bench(
+            "duke2",
+            Synthetic,
+            expression_pla(&ExprSpec {
+                num_inputs: 22,
+                num_outputs: 29,
+                window: 9,
+                depth: 4,
+                xor_weight: 0.15,
+                dc_fraction: 0.0,
+                seed: 0xD0BE2,
+            }),
+        ),
+        // e64 (65/65): one wide cube per output — the original is a
+        // 65-term PLA of similar simplicity.
+        "e64" => bench(
+            "e64",
+            Synthetic,
+            structured_pla(&SynthSpec {
+                num_inputs: 65,
+                num_outputs: 65,
+                cubes_per_output: 1,
+                window: 8,
+                literals: 5,
+                dc_cubes_per_output: 0,
+                seed: 0xE64,
+            }),
+        ),
+        // misex3 (14/14).
+        "misex3" => bench(
+            "misex3",
+            Synthetic,
+            expression_pla(&ExprSpec {
+                num_inputs: 14,
+                num_outputs: 14,
+                window: 8,
+                depth: 4,
+                xor_weight: 0.2,
+                dc_fraction: 0.0,
+                seed: 0x3153,
+            }),
+        ),
+        // pdc (16/40): the don't-care-rich one.
+        "pdc" => bench(
+            "pdc",
+            Synthetic,
+            expression_pla(&ExprSpec {
+                num_inputs: 16,
+                num_outputs: 40,
+                window: 8,
+                depth: 4,
+                xor_weight: 0.15,
+                dc_fraction: 0.3,
+                seed: 0x9DC,
+            }),
+        ),
+        // spla (16/46).
+        "spla" => bench(
+            "spla",
+            Synthetic,
+            expression_pla(&ExprSpec {
+                num_inputs: 16,
+                num_outputs: 46,
+                window: 8,
+                depth: 4,
+                xor_weight: 0.2,
+                dc_fraction: 0.1,
+                seed: 0x59,
+            }),
+        ),
+        // misex1 (8/7): small control logic, shared windows.
+        "misex1" => bench(
+            "misex1",
+            Synthetic,
+            expression_pla(&ExprSpec {
+                num_inputs: 8,
+                num_outputs: 7,
+                window: 6,
+                depth: 3,
+                xor_weight: 0.1,
+                dc_fraction: 0.0,
+                seed: 0x3151,
+            }),
+        ),
+        // con1 (7/2): tiny control logic.
+        "con1" => bench(
+            "con1",
+            Synthetic,
+            expression_pla(&ExprSpec {
+                num_inputs: 7,
+                num_outputs: 2,
+                window: 5,
+                depth: 3,
+                xor_weight: 0.1,
+                dc_fraction: 0.0,
+                seed: 0xC0,
+            }),
+        ),
+        // vg2 (25/8).
+        "vg2" => bench(
+            "vg2",
+            Synthetic,
+            expression_pla(&ExprSpec {
+                num_inputs: 25,
+                num_outputs: 8,
+                window: 10,
+                depth: 5,
+                xor_weight: 0.2,
+                dc_fraction: 0.0,
+                seed: 0x62,
+            }),
+        ),
+        _ => return None,
+    })
+}
+
+/// The Table 2 suite (BI-DECOMP vs. SIS), in the paper's row order.
+pub fn table2() -> Vec<Benchmark> {
+    ["9sym", "alu2", "cps", "duke2", "e64", "misex3", "pdc", "spla", "vg2", "16sym8"]
+        .iter()
+        .map(|n| by_name(n).expect("table2 names are known"))
+        .collect()
+}
+
+/// The Table 3 suite (BI-DECOMP vs. BDS), in the paper's row order.
+pub fn table3() -> Vec<Benchmark> {
+    ["5xp1", "9sym", "alu2", "alu4", "cordic", "rd84", "t481"]
+        .iter()
+        .map(|n| by_name(n).expect("table3 names are known"))
+        .collect()
+}
+
+/// Every named benchmark, deduplicated.
+pub fn all() -> Vec<Benchmark> {
+    let mut names: Vec<&str> = Vec::new();
+    for b in table2().iter().chain(table3().iter()) {
+        if !names.contains(&b.name) {
+            names.push(b.name);
+        }
+    }
+    for extra in ["rd73", "misex1", "con1"] {
+        names.push(extra);
+    }
+    names.iter().map(|n| by_name(n).expect("known")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shapes_match_the_paper() {
+        let expected: [(&str, usize, usize); 10] = [
+            ("9sym", 9, 1),
+            ("alu2", 10, 6),
+            ("cps", 24, 109),
+            ("duke2", 22, 29),
+            ("e64", 65, 65),
+            ("misex3", 14, 14),
+            ("pdc", 16, 40),
+            ("spla", 16, 46),
+            ("vg2", 25, 8),
+            ("16sym8", 16, 1),
+        ];
+        let suite = table2();
+        assert_eq!(suite.len(), expected.len());
+        for (b, (name, ins, outs)) in suite.iter().zip(expected) {
+            assert_eq!(b.name, name);
+            assert_eq!(b.pla.num_inputs(), ins, "{name} inputs");
+            assert_eq!(b.pla.num_outputs(), outs, "{name} outputs");
+        }
+    }
+
+    #[test]
+    fn table3_shapes_match_the_paper() {
+        let expected: [(&str, usize, usize); 7] = [
+            ("5xp1", 7, 10),
+            ("9sym", 9, 1),
+            ("alu2", 10, 6),
+            ("alu4", 14, 8),
+            ("cordic", 23, 2),
+            ("rd84", 8, 4),
+            ("t481", 16, 1),
+        ];
+        let suite = table3();
+        for (b, (name, ins, outs)) in suite.iter().zip(expected) {
+            assert_eq!(b.name, name);
+            assert_eq!(b.pla.num_inputs(), ins, "{name} inputs");
+            assert_eq!(b.pla.num_outputs(), outs, "{name} outputs");
+        }
+    }
+
+    #[test]
+    fn nine_sym_on_set_size() {
+        let b = by_name("9sym").expect("known");
+        assert_eq!(b.provenance, Provenance::Exact);
+        assert_eq!(b.pla.cubes().len(), 84 + 126 + 126 + 84);
+    }
+
+    #[test]
+    fn five_xp1_is_affine_arithmetic() {
+        let b = by_name("5xp1").expect("known");
+        for v in [0u64, 1, 63, 127] {
+            let expected = 5 * v + 1;
+            for bit in 0..10 {
+                assert_eq!(
+                    b.pla.eval(bit, v),
+                    Some(expected & (1 << bit) != 0),
+                    "v={v} bit={bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn t481_is_exor_of_halves() {
+        let b = by_name("t481").expect("known");
+        // Flipping the polarity of one half flips the output when the half
+        // functions differ — spot-check a few points.
+        assert_eq!(b.pla.num_inputs(), 16);
+        // m = 0: g(0)=((0==0)&&(0==0))||... = true for both halves → false.
+        assert_eq!(b.pla.eval(0, 0), Some(false));
+        // Make low half false: x0≠x1, x2≠x3, x4=x5, x6=x7 → g0 = false.
+        let m = 0b0000_0000_0000_0101u64;
+        assert_eq!(b.pla.eval(0, m), Some(true));
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn all_is_deduplicated() {
+        let names: Vec<&str> = all().iter().map(|b| b.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "no duplicates in all()");
+        assert!(names.contains(&"rd73"));
+        assert!(names.contains(&"misex1"));
+        assert!(names.contains(&"con1"));
+    }
+}

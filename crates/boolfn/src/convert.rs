@@ -1,0 +1,123 @@
+//! Conversions between truth tables and BDDs.
+
+use bdd::{Bdd, Func};
+
+use crate::TruthTable;
+
+impl TruthTable {
+    /// Builds the BDD of this function in `mgr`.
+    ///
+    /// Variable `x_k` of the table maps to manager variable `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager has fewer variables than the table.
+    pub fn to_bdd(&self, mgr: &mut Bdd) -> Func {
+        assert!(
+            mgr.num_vars() >= self.num_vars(),
+            "manager must have at least {} variables",
+            self.num_vars()
+        );
+        self.to_bdd_range(mgr, 0, 0)
+    }
+
+    /// Recursive Shannon construction over variables `[var..num_vars)`;
+    /// `base` holds the already fixed low-order input bits. `ite` tolerates
+    /// any construction order, so we simply expand `x_var` at each step.
+    /// Exponential in `num_vars` — intended for test-scale functions.
+    fn to_bdd_range(&self, mgr: &mut Bdd, var: usize, base: u32) -> Func {
+        if var == self.num_vars() {
+            return mgr.constant(self.get(base));
+        }
+        let low = self.to_bdd_range(mgr, var + 1, base);
+        let high = self.to_bdd_range(mgr, var + 1, base | (1 << var));
+        let x = mgr.var(var as u32);
+        mgr.ite(x, high, low)
+    }
+
+    /// Reads a BDD back into a dense table over the first
+    /// `num_vars` manager variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 24` or if `f` depends on a variable
+    /// `>= num_vars`.
+    pub fn from_bdd(mgr: &Bdd, f: Func, num_vars: usize) -> Self {
+        let support = mgr.support(f);
+        if let Some(max) = support.iter().max() {
+            assert!(
+                (max as usize) < num_vars,
+                "function depends on x{max}, beyond the requested {num_vars} variables"
+            );
+        }
+        TruthTable::from_fn(num_vars, |m| {
+            let assignment: Vec<bool> = (0..num_vars).map(|k| m & (1 << k) != 0).collect();
+            mgr.eval(f, &assignment)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_bdd() {
+        for seed in 0..6 {
+            let f = TruthTable::random(6, 0.4, seed);
+            let mut mgr = Bdd::new(6);
+            let g = f.to_bdd(&mut mgr);
+            let back = TruthTable::from_bdd(&mgr, g, 6);
+            assert_eq!(back, f, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn operators_commute_with_conversion() {
+        let a = TruthTable::random(5, 0.5, 1);
+        let b = TruthTable::random(5, 0.5, 2);
+        let mut mgr = Bdd::new(5);
+        let fa = a.to_bdd(&mut mgr);
+        let fb = b.to_bdd(&mut mgr);
+        let cases: Vec<(TruthTable, Func)> = vec![
+            (a.and(&b), mgr.and(fa, fb)),
+            (a.or(&b), mgr.or(fa, fb)),
+            (a.xor(&b), mgr.xor(fa, fb)),
+            (a.complement(), mgr.not(fa)),
+            (a.diff(&b), mgr.diff(fa, fb)),
+        ];
+        for (tt, f) in cases {
+            assert_eq!(TruthTable::from_bdd(&mgr, f, 5), tt);
+        }
+    }
+
+    #[test]
+    fn quantifiers_commute_with_conversion() {
+        let t = TruthTable::random(5, 0.5, 9);
+        let mut mgr = Bdd::new(5);
+        let f = t.to_bdd(&mut mgr);
+        let mask = 0b01101u32;
+        let vars: bdd::VarSet = (0..5u32).filter(|v| mask & (1 << v) != 0).collect();
+        let ex = mgr.exists_set(f, &vars);
+        let all = mgr.forall_set(f, &vars);
+        assert_eq!(TruthTable::from_bdd(&mgr, ex, 5), t.exists(mask));
+        assert_eq!(TruthTable::from_bdd(&mgr, all, 5), t.forall(mask));
+    }
+
+    #[test]
+    fn constants_convert() {
+        let mut mgr = Bdd::new(3);
+        let z = TruthTable::zeros(3).to_bdd(&mut mgr);
+        assert!(z.is_zero());
+        let o = TruthTable::ones(3).to_bdd(&mut mgr);
+        assert!(o.is_one());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the requested")]
+    fn from_bdd_rejects_larger_support() {
+        let mut mgr = Bdd::new(5);
+        let f = mgr.var(4);
+        let _ = TruthTable::from_bdd(&mgr, f, 3);
+    }
+}

@@ -1,0 +1,285 @@
+//! End-to-end driver: PLA in → two-input gate netlist out.
+//!
+//! Mirrors the experimental flow of §8: read the PLA, build the on-set and
+//! off-set BDDs per output, order the variables, run `BiDecompose` on each
+//! output (sharing the component cache), verify with the BDD verifier, and
+//! report statistics and wall-clock time.
+
+use std::time::{Duration, Instant};
+
+use bdd::{reorder, Bdd, Func};
+use netlist::Netlist;
+use pla::{Pla, Trit};
+
+use crate::{verify, Decomposer, Isf, Options, Stats};
+
+/// Result of decomposing a PLA.
+#[derive(Debug)]
+pub struct DecompOutcome {
+    /// The synthesized two-input gate netlist.
+    pub netlist: Netlist,
+    /// Algorithm statistics (recursive calls, cache hits, weak rate, …).
+    pub stats: Stats,
+    /// Did the BDD-based verifier accept the result? (`true` when
+    /// verification is disabled in [`Options`].)
+    pub verified: bool,
+    /// Wall-clock time of decomposition only (excludes PLA parsing,
+    /// includes BDD construction and netlist assembly; as in the paper,
+    /// input file reading is not included).
+    pub elapsed: Duration,
+    /// Peak live BDD node count observed.
+    pub bdd_nodes: usize,
+}
+
+/// Builds the specification ISFs of every PLA output inside `mgr`.
+///
+/// Follows espresso semantics: the on-set comes from `1` entries, the
+/// don't-care set from `d` entries, and the off-set from `0` entries
+/// (`fr`/`fdr`) or the uncovered remainder (`f`/`fd`). Overlaps resolve in
+/// favor of the on-set, then the don't-care set.
+///
+/// # Panics
+///
+/// Panics if the manager has fewer variables than the PLA has inputs.
+pub fn isfs_from_pla(mgr: &mut Bdd, pla: &Pla) -> Vec<Isf> {
+    assert!(
+        mgr.num_vars() >= pla.num_inputs(),
+        "manager needs at least {} variables",
+        pla.num_inputs()
+    );
+    let cube_bdd = |mgr: &mut Bdd, cube: &pla::Cube| -> Func {
+        let mut f = Func::ONE;
+        for (v, &t) in cube.inputs().iter().enumerate() {
+            let lit = match t {
+                Trit::One => mgr.var(v as u32),
+                Trit::Zero => mgr.nvar(v as u32),
+                Trit::Dc => continue,
+            };
+            f = mgr.and(f, lit);
+        }
+        f
+    };
+    // Balanced disjunction keeps intermediate BDDs small on minterm-dense
+    // inputs (e.g. the symmetric benchmarks).
+    fn balanced_or(mgr: &mut Bdd, mut terms: Vec<Func>) -> Func {
+        if terms.is_empty() {
+            return Func::ZERO;
+        }
+        while terms.len() > 1 {
+            let mut next = Vec::with_capacity(terms.len().div_ceil(2));
+            for pair in terms.chunks(2) {
+                next.push(if pair.len() == 2 { mgr.or(pair[0], pair[1]) } else { pair[0] });
+            }
+            terms = next;
+        }
+        terms[0]
+    }
+    (0..pla.num_outputs())
+        .map(|out| {
+            let on_terms: Vec<Func> = pla.on_cubes(out).map(|c| cube_bdd(mgr, c)).collect();
+            let q = balanced_or(mgr, on_terms);
+            let dc_terms: Vec<Func> = pla.dc_cubes(out).map(|c| cube_bdd(mgr, c)).collect();
+            let dc = balanced_or(mgr, dc_terms);
+            let r = if pla.pla_type().rest_is_offset() {
+                let covered = mgr.or(q, dc);
+                mgr.not(covered)
+            } else {
+                let mut r = Func::ZERO;
+                for cube in pla.off_cubes(out) {
+                    let c = cube_bdd(mgr, cube);
+                    r = mgr.or(r, c);
+                }
+                // On-set wins on overlap, then don't-care.
+                let r = mgr.diff(r, q);
+                mgr.diff(r, dc)
+            };
+            // Don't-care beats off-set in fd files where dc overlaps the
+            // uncovered remainder by construction; ensure q ∩ r = ∅.
+            let r = mgr.diff(r, q);
+            Isf::new(mgr, q, r)
+        })
+        .collect()
+}
+
+/// Decomposes a multi-output PLA into a netlist of two-input gates —
+/// the full BI-DECOMP flow of the paper.
+///
+/// See the [crate-level example](crate) for usage.
+pub fn decompose_pla(pla: &Pla, options: &Options) -> DecompOutcome {
+    let start = Instant::now();
+    let n = pla.num_inputs();
+    let input_names: Vec<String> = match pla.input_labels() {
+        Some(labels) => labels.to_vec(),
+        None => (0..n).map(|k| format!("x{k}")).collect(),
+    };
+    let output_names: Vec<String> = match pla.output_labels() {
+        Some(labels) => labels.to_vec(),
+        None => (0..pla.num_outputs()).map(|k| format!("y{k}")).collect(),
+    };
+    let mut dec = Decomposer::with_options(n, Some(&input_names), *options);
+    if options.order_by_frequency {
+        let order = reorder::order_by_frequency(&pla.literal_frequencies());
+        dec.set_variable_order(&order);
+    }
+    let isfs = isfs_from_pla(dec.manager(), pla);
+    let mut peak_nodes = dec.manager().total_nodes();
+    let mut components = Vec::with_capacity(isfs.len());
+    for (k, isf) in isfs.iter().enumerate() {
+        let comp = dec.decompose(*isf);
+        dec.add_output(output_names[k].clone(), comp);
+        components.push(comp);
+        peak_nodes = peak_nodes.max(dec.manager().total_nodes());
+        if dec.manager().total_nodes() > options.gc_threshold {
+            // Keep the remaining specifications and finished components.
+            let mut roots: Vec<Func> = components.iter().map(|c| c.func).collect();
+            for isf in &isfs[k + 1..] {
+                roots.push(isf.q);
+                roots.push(isf.r);
+            }
+            for isf in &isfs[..=k] {
+                roots.push(isf.q);
+                roots.push(isf.r);
+            }
+            dec.gc(&roots);
+        }
+    }
+    let elapsed = start.elapsed();
+    let (netlist, stats, mut mgr) = dec.into_parts();
+    let verified = if options.verify {
+        verify::verify_netlist(&mut mgr, &netlist, &isfs)
+    } else {
+        true
+    };
+    peak_nodes = peak_nodes.max(mgr.total_nodes());
+    DecompOutcome { netlist, stats, verified, elapsed, bdd_nodes: peak_nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_pla_end_to_end() {
+        let pla: Pla = "\
+.i 4
+.o 1
+.ilb a b c d
+.ob f
+11-- 1
+--11 1
+.e
+"
+        .parse()
+        .expect("valid pla");
+        let outcome = decompose_pla(&pla, &Options::default());
+        assert!(outcome.verified);
+        let s = outcome.netlist.stats();
+        assert_eq!(s.gates, 3);
+        assert_eq!(s.exors, 0);
+        // The netlist computes OR(a·b, c·d).
+        for bits in 0..16u64 {
+            let vals: Vec<bool> = (0..4).map(|k| bits & (1 << k) != 0).collect();
+            let expected = (vals[0] && vals[1]) || (vals[2] && vals[3]);
+            assert_eq!(outcome.netlist.eval_all(&vals), vec![expected]);
+        }
+    }
+
+    #[test]
+    fn fd_pla_with_dont_cares() {
+        // On: 11, DC: 0-, off: rest (=10). f must be 1 at ab, 0 at a¬b.
+        let pla: Pla = ".i 2\n.o 1\n11 1\n0- d\n.e\n".parse().expect("valid");
+        let outcome = decompose_pla(&pla, &Options::default());
+        assert!(outcome.verified);
+        let nl = &outcome.netlist;
+        assert_eq!(nl.eval_all(&[true, true]), vec![true]);
+        assert_eq!(nl.eval_all(&[true, false]), vec![false]);
+        // With the don't-cares the whole thing reduces to the literal b.
+        assert_eq!(nl.stats().gates, 0);
+    }
+
+    #[test]
+    fn fr_pla_interval_semantics() {
+        let pla: Pla = ".i 2\n.o 1\n.type fr\n11 1\n00 0\n.e\n".parse().expect("valid");
+        let mut mgr = Bdd::new(2);
+        let isfs = isfs_from_pla(&mut mgr, &pla);
+        assert_eq!(isfs.len(), 1);
+        let isf = isfs[0];
+        assert_eq!(mgr.sat_count(isf.q), 1.0);
+        assert_eq!(mgr.sat_count(isf.r), 1.0);
+        let dc = isf.dont_care(&mut mgr);
+        assert_eq!(mgr.sat_count(dc), 2.0);
+        let outcome = decompose_pla(&pla, &Options::default());
+        assert!(outcome.verified);
+    }
+
+    #[test]
+    fn fdr_pla_semantics() {
+        // fdr: on, off and dc all explicit; the rest is don't-care.
+        let pla: Pla = ".i 2\n.o 1\n.type fdr\n11 1\n00 0\n01 d\n.e\n".parse().expect("valid");
+        let mut mgr = Bdd::new(2);
+        let isfs = isfs_from_pla(&mut mgr, &pla);
+        let isf = isfs[0];
+        assert_eq!(mgr.sat_count(isf.q), 1.0);
+        assert_eq!(mgr.sat_count(isf.r), 1.0);
+        let dc = isf.dont_care(&mut mgr);
+        assert_eq!(mgr.sat_count(dc), 2.0, "explicit d plus the uncovered 10");
+        let outcome = decompose_pla(&pla, &Options::default());
+        assert!(outcome.verified);
+    }
+
+    #[test]
+    fn multi_output_sharing() {
+        // Outputs f = a·b + c and g = a·b + d share the a·b component.
+        let pla: Pla = "\
+.i 4
+.o 2
+11-- 11
+--1- 10
+---1 01
+.e
+"
+        .parse()
+        .expect("valid");
+        let outcome = decompose_pla(&pla, &Options::default());
+        assert!(outcome.verified);
+        assert_eq!(outcome.netlist.stats().gates, 3, "a·b shared between outputs");
+    }
+
+    #[test]
+    fn weak_only_options_still_verify() {
+        let pla: Pla = "\
+.i 4
+.o 1
+11-- 1
+--11 1
+.e
+"
+        .parse()
+        .expect("valid");
+        let outcome = decompose_pla(&pla, &Options::weak_only());
+        assert!(outcome.verified);
+        let strong = decompose_pla(&pla, &Options::default());
+        assert!(
+            outcome.netlist.stats().gates >= strong.netlist.stats().gates,
+            "weak-only must not beat the full algorithm here"
+        );
+    }
+
+    #[test]
+    fn constant_outputs() {
+        // Output 0: constant 1 (tautology cube). Output 1: constant 0 (no cubes).
+        let pla: Pla = ".i 2\n.o 2\n-- 1-\n.e\n".parse().expect("valid");
+        let outcome = decompose_pla(&pla, &Options::default());
+        assert!(outcome.verified);
+        assert_eq!(outcome.netlist.stats().gates, 0);
+        assert_eq!(outcome.netlist.eval_all(&[false, false]), vec![true, false]);
+    }
+
+    #[test]
+    fn elapsed_and_nodes_are_populated() {
+        let pla: Pla = ".i 3\n.o 1\n111 1\n.e\n".parse().expect("valid");
+        let outcome = decompose_pla(&pla, &Options::default());
+        assert!(outcome.bdd_nodes >= 2);
+        assert!(outcome.elapsed.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Variable grouping — Section 5 of the paper (Figs. 5 and 6).
+//!
+//! Grouping proceeds in two steps: [`find_initial_grouping`] seeds
+//! `X_A`/`X_B` with one variable each, then [`group_variables`] greedily
+//! grows them, always trying the smaller set first so the final sets stay
+//! balanced ("the closer their sizes are, the better" — balanced sets give
+//! balanced netlists and short delay).
+
+use bdd::{Bdd, VarSet};
+
+use crate::check;
+use crate::exor;
+use crate::{GateChoice, Isf};
+
+/// A variable grouping: the dedicated input sets of components A and B.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Grouping {
+    /// Variables feeding only component A.
+    pub xa: VarSet,
+    /// Variables feeding only component B.
+    pub xb: VarSet,
+}
+
+impl Grouping {
+    /// Total number of dedicated variables.
+    pub fn total(&self) -> usize {
+        self.xa.len() + self.xb.len()
+    }
+
+    /// Size difference between the two sets (0 = perfectly balanced).
+    pub fn imbalance(&self) -> usize {
+        self.xa.len().abs_diff(self.xb.len())
+    }
+}
+
+/// Dispatches the gate-specific strong decomposability check.
+fn decomposable(mgr: &mut Bdd, isf: &Isf, gate: GateChoice, xa: &VarSet, xb: &VarSet) -> bool {
+    match gate {
+        GateChoice::Or => check::or_decomposable(mgr, isf, xa, xb),
+        GateChoice::And => check::and_decomposable(mgr, isf, xa, xb),
+        GateChoice::Exor => exor::exor_decomposable(mgr, isf, xa, xb),
+    }
+}
+
+/// Fig. 5: finds singleton sets `({x}, {y})` for which the ISF is strongly
+/// bi-decomposable with gate `gate`, or `None` if no pair works.
+///
+/// For EXOR the cheap Theorem 2 pair test is used instead of the full
+/// Fig. 4 propagation.
+pub fn find_initial_grouping(
+    mgr: &mut Bdd,
+    isf: &Isf,
+    support: &VarSet,
+    gate: GateChoice,
+) -> Option<Grouping> {
+    let vars: Vec<u32> = support.iter().collect();
+    // All three checks are symmetric in (X_A, X_B), so unordered pairs
+    // suffice (the paper's double loop tests both orders; same outcome).
+    for (i, &x) in vars.iter().enumerate() {
+        for &y in &vars[i + 1..] {
+            let ok = match gate {
+                GateChoice::Exor => check::exor_decomposable_pair(mgr, isf, x, y),
+                _ => decomposable(
+                    mgr,
+                    isf,
+                    gate,
+                    &VarSet::singleton(x),
+                    &VarSet::singleton(y),
+                ),
+            };
+            if ok {
+                return Some(Grouping { xa: VarSet::singleton(x), xb: VarSet::singleton(y) });
+            }
+        }
+    }
+    None
+}
+
+/// Fig. 6: grows the initial grouping greedily, trying to add each
+/// remaining support variable to the smaller set first.
+///
+/// Returns `None` if the function has no strong bi-decomposition with
+/// `gate` under any grouping.
+pub fn group_variables(
+    mgr: &mut Bdd,
+    isf: &Isf,
+    support: &VarSet,
+    gate: GateChoice,
+) -> Option<Grouping> {
+    let mut grouping = find_initial_grouping(mgr, isf, support, gate)?;
+    let rest = support.difference(&grouping.xa.union(&grouping.xb));
+    for z in rest.iter() {
+        let zs = VarSet::singleton(z);
+        // Try the smaller set first to keep the grouping balanced.
+        let (first_a, second_a) = if grouping.xa.len() <= grouping.xb.len() {
+            (true, false)
+        } else {
+            (false, true)
+        };
+        for to_a in [first_a, second_a] {
+            let (xa, xb) = if to_a {
+                (grouping.xa.union(&zs), grouping.xb)
+            } else {
+                (grouping.xa, grouping.xb.union(&zs))
+            };
+            if decomposable(mgr, isf, gate, &xa, &xb) {
+                grouping = Grouping { xa, xb };
+                break;
+            }
+        }
+    }
+    Some(grouping)
+}
+
+/// `FindBestVariableGrouping` of Fig. 7: picks the best of the candidate
+/// groupings found for OR, AND and EXOR.
+///
+/// The cost function follows §7: more included variables is better;
+/// among equals, better balance is better. Ties prefer OR, then AND, then
+/// EXOR (EXOR gates are the most expensive in the §8 cost model).
+pub fn find_best_grouping(
+    candidates: [(GateChoice, Option<Grouping>); 3],
+) -> Option<(GateChoice, Grouping)> {
+    let mut best: Option<(GateChoice, Grouping)> = None;
+    for (gate, candidate) in candidates {
+        let Some(g) = candidate else { continue };
+        let better = match &best {
+            None => true,
+            Some((_, b)) => {
+                g.total() > b.total() || (g.total() == b.total() && g.imbalance() < b.imbalance())
+            }
+        };
+        if better {
+            best = Some((gate, g));
+        }
+    }
+    best
+}
+
+/// Weak variable grouping (§7): chooses the single dedicated variable
+/// `X_A = {x}` and the gate (weak OR or weak AND) that move the most
+/// on-/off-set minterms into component A's don't-care set.
+///
+/// Returns `None` when no weak decomposition is useful for any variable —
+/// the caller must then fall back to Shannon expansion (the paper states
+/// one of the weak forms always exists for non-trivial functions; the
+/// fallback keeps the implementation total regardless).
+pub fn group_variables_weak(
+    mgr: &mut Bdd,
+    isf: &Isf,
+    support: &VarSet,
+) -> Option<(GateChoice, VarSet)> {
+    let mut best: Option<(GateChoice, VarSet, f64)> = None;
+    for x in support.iter() {
+        let xs = VarSet::singleton(x);
+        let cube = mgr.cube(&xs);
+        // Weak OR gain: on-set minterms whose row has no off-set point.
+        let er = mgr.exists(isf.r, cube);
+        let qa = mgr.and(isf.q, er);
+        let gain_or = mgr.sat_count(isf.q) - mgr.sat_count(qa);
+        if gain_or > 0.0 && best.as_ref().is_none_or(|&(_, _, g)| gain_or > g) {
+            best = Some((GateChoice::Or, xs, gain_or));
+        }
+        // Weak AND gain: dual.
+        let eq = mgr.exists(isf.q, cube);
+        let ra = mgr.and(isf.r, eq);
+        let gain_and = mgr.sat_count(isf.r) - mgr.sat_count(ra);
+        if gain_and > 0.0 && best.as_ref().is_none_or(|&(_, _, g)| gain_and > g) {
+            best = Some((GateChoice::And, xs, gain_and));
+        }
+    }
+    best.map(|(gate, xs, _)| (gate, xs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdd::Func;
+
+    #[test]
+    fn fig3_grouping_found() {
+        let mut mgr = Bdd::new(4);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let c = mgr.var(2);
+        let d = mgr.var(3);
+        let ab = mgr.and(a, b);
+        let cd = mgr.and(c, d);
+        let f = mgr.or(ab, cd);
+        let isf = Isf::from_csf(&mut mgr, f);
+        let support = isf.support(&mgr);
+        let g = group_variables(&mut mgr, &isf, &support, GateChoice::Or)
+            .expect("OR grouping exists");
+        // The greedy growth must find the full balanced split {a,b}/{c,d}
+        // (in some order).
+        assert_eq!(g.total(), 4);
+        assert_eq!(g.imbalance(), 0);
+        let split_ok = (g.xa == VarSet::from_iter([0u32, 1]) && g.xb == VarSet::from_iter([2u32, 3]))
+            || (g.xa == VarSet::from_iter([2u32, 3]) && g.xb == VarSet::from_iter([0u32, 1]));
+        assert!(split_ok, "got {:?}", g);
+    }
+
+    #[test]
+    fn parity_grouping_is_exor_and_total() {
+        let mut mgr = Bdd::new(6);
+        let mut f = Func::ZERO;
+        for v in 0..6 {
+            let x = mgr.var(v);
+            f = mgr.xor(f, x);
+        }
+        let isf = Isf::from_csf(&mut mgr, f);
+        let support = isf.support(&mgr);
+        assert!(group_variables(&mut mgr, &isf, &support, GateChoice::Or).is_none());
+        assert!(group_variables(&mut mgr, &isf, &support, GateChoice::And).is_none());
+        let g = group_variables(&mut mgr, &isf, &support, GateChoice::Exor)
+            .expect("parity is EXOR-decomposable");
+        assert_eq!(g.total(), 6, "every variable lands in a dedicated set");
+        assert!(g.imbalance() <= 1);
+    }
+
+    #[test]
+    fn majority_has_no_strong_grouping() {
+        let mut mgr = Bdd::new(3);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let c = mgr.var(2);
+        let ab = mgr.and(a, b);
+        let ac = mgr.and(a, c);
+        let bc = mgr.and(b, c);
+        let t = mgr.or(ab, ac);
+        let maj = mgr.or(t, bc);
+        let isf = Isf::from_csf(&mut mgr, maj);
+        let support = isf.support(&mgr);
+        for gate in [GateChoice::Or, GateChoice::And, GateChoice::Exor] {
+            assert!(find_initial_grouping(&mut mgr, &isf, &support, gate).is_none());
+        }
+        // But a weak grouping exists.
+        assert!(group_variables_weak(&mut mgr, &isf, &support).is_some());
+    }
+
+    #[test]
+    fn best_grouping_prefers_more_variables_then_balance() {
+        let g22 = Grouping { xa: VarSet::from_iter([0u32, 1]), xb: VarSet::from_iter([2u32, 3]) };
+        let g31 = Grouping { xa: VarSet::from_iter([0u32, 1, 2]), xb: VarSet::singleton(3) };
+        let g21 = Grouping { xa: VarSet::from_iter([0u32, 1]), xb: VarSet::singleton(2) };
+        // Same total: balance wins.
+        let best = find_best_grouping([
+            (GateChoice::Or, Some(g31)),
+            (GateChoice::And, Some(g22)),
+            (GateChoice::Exor, None),
+        ])
+        .expect("candidates exist");
+        assert_eq!(best.0, GateChoice::And);
+        assert_eq!(best.1, g22);
+        // Larger total wins over balance.
+        let best = find_best_grouping([
+            (GateChoice::Or, Some(g21)),
+            (GateChoice::And, None),
+            (GateChoice::Exor, Some(g31)),
+        ])
+        .expect("candidates exist");
+        assert_eq!(best.0, GateChoice::Exor);
+        // No candidates → none.
+        assert!(find_best_grouping([
+            (GateChoice::Or, None),
+            (GateChoice::And, None),
+            (GateChoice::Exor, None),
+        ])
+        .is_none());
+    }
+
+    #[test]
+    fn weak_grouping_picks_most_dont_cares() {
+        // F = a·b + c. Quantifying a (or b) out of R leaves only rows with
+        // an off-set point in the ¬c half-space, freeing 4 of the 5 on-set
+        // minterms; quantifying c frees only 2. The weak grouping must
+        // therefore pick X_A = {a} (the first maximal-gain variable).
+        let mut mgr = Bdd::new(3);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let c = mgr.var(2);
+        let ab = mgr.and(a, b);
+        let f = mgr.or(ab, c);
+        let isf = Isf::from_csf(&mut mgr, f);
+        let support = isf.support(&mgr);
+        let (gate, xa) = group_variables_weak(&mut mgr, &isf, &support).expect("useful");
+        assert_eq!(gate, GateChoice::Or);
+        assert_eq!(xa, VarSet::singleton(0));
+        // Sanity: the gain of {a} beats the gain of {c}.
+        let gain = |mgr: &mut Bdd, xs: &VarSet| {
+            let cube = mgr.cube(xs);
+            let er = mgr.exists(isf.r, cube);
+            let qa = mgr.and(isf.q, er);
+            mgr.sat_count(isf.q) - mgr.sat_count(qa)
+        };
+        let ga = gain(&mut mgr, &VarSet::singleton(0));
+        let gc = gain(&mut mgr, &VarSet::singleton(2));
+        assert!(ga > gc, "gain(a)={ga} must exceed gain(c)={gc}");
+    }
+
+    #[test]
+    fn weak_grouping_returns_none_for_parity() {
+        let mut mgr = Bdd::new(4);
+        let mut f = Func::ZERO;
+        for v in 0..4 {
+            let x = mgr.var(v);
+            f = mgr.xor(f, x);
+        }
+        let isf = Isf::from_csf(&mut mgr, f);
+        let support = isf.support(&mgr);
+        assert!(group_variables_weak(&mut mgr, &isf, &support).is_none());
+    }
+}

@@ -1,0 +1,137 @@
+//! Decomposition tracing: a structured record of the recursion — the
+//! paper's "decomposition tree" (`AddGateToDecompositionTree`), exposed
+//! for inspection, debugging and documentation.
+
+use std::fmt::Write as _;
+
+use bdd::{VarId, VarSet};
+
+use crate::GateChoice;
+
+/// What one recursive `BiDecompose` call did.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Step {
+    /// Resolved from the component cache (§6).
+    CacheHit {
+        /// Whether the cached component was used complemented.
+        complemented: bool,
+    },
+    /// Terminal case: a constant, literal or single gate (`FindGate`).
+    Terminal {
+        /// Human-readable description of the leaf (e.g. `and(x0, ¬x1)`).
+        desc: String,
+    },
+    /// Strong bi-decomposition with the given gate and dedicated sets.
+    Strong {
+        /// The decomposition gate.
+        gate: GateChoice,
+        /// Variables dedicated to component A.
+        xa: VarSet,
+        /// Variables dedicated to component B.
+        xb: VarSet,
+    },
+    /// Weak bi-decomposition (X_B empty).
+    Weak {
+        /// OR or AND.
+        gate: GateChoice,
+        /// The dedicated set of component A (a single variable in the
+        /// paper's configuration).
+        xa: VarSet,
+    },
+    /// Shannon-expansion safeguard on one variable.
+    Shannon {
+        /// The expanded variable.
+        var: VarId,
+    },
+}
+
+/// One trace record: the recursion depth and the step taken.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Recursion depth of the `BiDecompose` call (0 = a top-level call).
+    pub depth: usize,
+    /// What the call did.
+    pub step: Step,
+}
+
+/// Renders a trace as an indented tree, one line per recursive call.
+///
+/// ```
+/// use bidecomp::trace::{render_trace, Step, TraceEvent};
+/// use bidecomp::GateChoice;
+/// use bdd::VarSet;
+///
+/// let trace = vec![
+///     TraceEvent { depth: 0, step: Step::Strong {
+///         gate: GateChoice::Or,
+///         xa: VarSet::from_iter([2u32, 3]),
+///         xb: VarSet::from_iter([0u32, 1]),
+///     }},
+///     TraceEvent { depth: 1, step: Step::Terminal { desc: "and(x2, x3)".into() } },
+///     TraceEvent { depth: 1, step: Step::Terminal { desc: "and(x0, x1)".into() } },
+/// ];
+/// let text = render_trace(&trace);
+/// assert!(text.contains("or  XA={x2,x3} XB={x0,x1}"));
+/// ```
+pub fn render_trace(trace: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for event in trace {
+        for _ in 0..event.depth {
+            out.push_str("  ");
+        }
+        match &event.step {
+            Step::CacheHit { complemented } => {
+                let _ = writeln!(
+                    out,
+                    "cache hit{}",
+                    if *complemented { " (complemented)" } else { "" }
+                );
+            }
+            Step::Terminal { desc } => {
+                let _ = writeln!(out, "leaf {desc}");
+            }
+            Step::Strong { gate, xa, xb } => {
+                let _ = writeln!(out, "{gate:<3} XA={xa} XB={xb}");
+            }
+            Step::Weak { gate, xa } => {
+                let _ = writeln!(out, "weak {gate} XA={xa}");
+            }
+            Step::Shannon { var } => {
+                let _ = writeln!(out, "shannon x{var}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_indents_by_depth() {
+        let trace = vec![
+            TraceEvent {
+                depth: 0,
+                step: Step::Strong {
+                    gate: GateChoice::Exor,
+                    xa: VarSet::singleton(0),
+                    xb: VarSet::singleton(1),
+                },
+            },
+            TraceEvent { depth: 1, step: Step::Terminal { desc: "x0".into() } },
+            TraceEvent { depth: 1, step: Step::CacheHit { complemented: true } },
+        ];
+        let text = render_trace(&trace);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("exor"));
+        assert!(lines[1].starts_with("  leaf x0"));
+        assert!(lines[2].contains("(complemented)"));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        assert_eq!(render_trace(&[]), "");
+    }
+}

@@ -1,0 +1,107 @@
+//! BDD-based verification of decomposition results.
+//!
+//! §8: "The correctness of the resulting networks has been tested using a
+//! BDD-based verifier." For each primary output, the netlist's extracted
+//! BDD must be compatible with the specification interval `[Q, ¬R]`.
+
+use bdd::Bdd;
+use netlist::Netlist;
+
+use crate::Isf;
+
+/// Verifies that every output of `netlist` implements a function
+/// compatible with the corresponding specification ISF.
+///
+/// `isfs[k]` is the specification of output `k` (netlist output order);
+/// netlist input `k` must correspond to manager variable `k` — the
+/// convention used throughout this workspace.
+///
+/// # Panics
+///
+/// Panics if the number of ISFs differs from the number of netlist
+/// outputs.
+pub fn verify_netlist(mgr: &mut Bdd, netlist: &Netlist, isfs: &[Isf]) -> bool {
+    assert_eq!(
+        isfs.len(),
+        netlist.outputs().len(),
+        "one specification interval per netlist output required"
+    );
+    let bdds = netlist.to_bdds(mgr);
+    bdds.iter().zip(isfs).all(|(&f, isf)| isf.contains(mgr, f))
+}
+
+/// Like [`verify_netlist`] but returns the indices of the failing outputs
+/// (empty = verified).
+pub fn failing_outputs(mgr: &mut Bdd, netlist: &Netlist, isfs: &[Isf]) -> Vec<usize> {
+    assert_eq!(isfs.len(), netlist.outputs().len());
+    let bdds = netlist.to_bdds(mgr);
+    bdds.iter()
+        .zip(isfs)
+        .enumerate()
+        .filter_map(|(k, (&f, isf))| (!isf.contains(mgr, f)).then_some(k))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::Gate2;
+
+    #[test]
+    fn correct_netlist_verifies() {
+        let mut mgr = Bdd::new(2);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = mgr.and(a, b);
+        let isf = Isf::from_csf(&mut mgr, f);
+        let mut nl = Netlist::new();
+        let sa = nl.add_input("a");
+        let sb = nl.add_input("b");
+        let g = nl.add_gate(Gate2::And, sa, sb);
+        nl.add_output("f", g);
+        assert!(verify_netlist(&mut mgr, &nl, &[isf]));
+        assert!(failing_outputs(&mut mgr, &nl, &[isf]).is_empty());
+    }
+
+    #[test]
+    fn wrong_netlist_fails() {
+        let mut mgr = Bdd::new(2);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = mgr.and(a, b);
+        let isf = Isf::from_csf(&mut mgr, f);
+        let mut nl = Netlist::new();
+        let sa = nl.add_input("a");
+        let sb = nl.add_input("b");
+        let g = nl.add_gate(Gate2::Or, sa, sb); // wrong gate
+        nl.add_output("f", g);
+        assert!(!verify_netlist(&mut mgr, &nl, &[isf]));
+        assert_eq!(failing_outputs(&mut mgr, &nl, &[isf]), vec![0]);
+    }
+
+    #[test]
+    fn dont_cares_admit_any_compatible_completion() {
+        let mut mgr = Bdd::new(2);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let ab = mgr.and(a, b);
+        let nor = mgr.nor(a, b);
+        let isf = Isf::new(&mut mgr, ab, nor); // 1 on ab, 0 on ¬a¬b, else dc
+        // Netlist computing just `a` is a valid completion.
+        let mut nl = Netlist::new();
+        let sa = nl.add_input("a");
+        let _sb = nl.add_input("b");
+        nl.add_output("f", sa);
+        assert!(verify_netlist(&mut mgr, &nl, &[isf]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one specification interval")]
+    fn arity_mismatch_panics() {
+        let mut mgr = Bdd::new(1);
+        let nl = Netlist::new();
+        let a = mgr.var(0);
+        let isf = Isf::from_csf(&mut mgr, a);
+        let _ = verify_netlist(&mut mgr, &nl, &[isf]);
+    }
+}

@@ -1,0 +1,342 @@
+//! The recursive MV bi-decomposition — the Fig. 7 recursion transplanted
+//! to MIN/MAX gates over multi-valued variables.
+
+use crate::netlist::{MvNetlist, MvNodeId};
+use crate::{MvIsf, MvTable};
+
+/// Tuning knobs of the MV decomposer (for ablations, like the Boolean
+/// [`Options`](https://docs.rs/bidecomp)).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MvOptions {
+    /// Search for MIN-bi-decompositions.
+    pub use_min: bool,
+    /// Search for MAX-bi-decompositions.
+    pub use_max: bool,
+}
+
+impl Default for MvOptions {
+    fn default() -> Self {
+        MvOptions { use_min: true, use_max: true }
+    }
+}
+
+/// Counters of one MV decomposition run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MvStats {
+    /// Recursive calls.
+    pub calls: usize,
+    /// Strong MIN decompositions performed.
+    pub strong_min: usize,
+    /// Strong MAX decompositions performed.
+    pub strong_max: usize,
+    /// Terminal cases (≤ 1 support variable → unary literal or constant).
+    pub terminal: usize,
+    /// MV Shannon expansions (no strong grouping found).
+    pub shannon: usize,
+    /// Inessential variables removed across all calls.
+    pub inessential_removed: usize,
+}
+
+/// Decomposes an MV interval into a MIN/MAX/unary network with default
+/// options; returns the network and its root node.
+///
+/// The realized function is guaranteed compatible with the interval; see
+/// the [crate-level example](crate).
+pub fn decompose(isf: &MvIsf) -> (MvNetlist, MvNodeId) {
+    let (nl, root, _) = decompose_with_options(isf, &MvOptions::default());
+    (nl, root)
+}
+
+/// [`decompose`] with explicit options, also returning statistics.
+pub fn decompose_with_options(
+    isf: &MvIsf,
+    options: &MvOptions,
+) -> (MvNetlist, MvNodeId, MvStats) {
+    let mut dec = MvDecomposer {
+        netlist: MvNetlist::new(),
+        stats: MvStats::default(),
+        options: *options,
+    };
+    let (root, realized) = dec.recurse(isf);
+    debug_assert!(isf.contains(&realized), "MV decomposition must stay in the interval");
+    (dec.netlist, root, dec.stats)
+}
+
+struct MvDecomposer {
+    netlist: MvNetlist,
+    stats: MvStats,
+    options: MvOptions,
+}
+
+impl MvDecomposer {
+    /// Returns the root node and the (completely specified) table it
+    /// realizes.
+    fn recurse(&mut self, isf_in: &MvIsf) -> (MvNodeId, MvTable) {
+        self.stats.calls += 1;
+        let (isf, removed) = isf_in.remove_inessential();
+        self.stats.inessential_removed += removed;
+        let isf = &isf;
+        let support = isf.support_mask();
+        let vars: Vec<usize> =
+            (0..isf.lo().num_vars()).filter(|v| support & (1 << v) != 0).collect();
+        // Terminal: constant or one unary literal.
+        if vars.len() <= 1 {
+            self.stats.terminal += 1;
+            return self.terminal(isf, vars.first().copied());
+        }
+        if let Some((is_min, xa, xb)) = self.best_grouping(isf, &vars) {
+            return self.strong(isf, is_min, xa, xb);
+        }
+        // MV Shannon expansion on the first support variable.
+        self.stats.shannon += 1;
+        self.shannon(isf, vars[0])
+    }
+
+    fn terminal(&mut self, isf: &MvIsf, var: Option<usize>) -> (MvNodeId, MvTable) {
+        let lo = isf.lo();
+        match var {
+            None => {
+                let value = lo.get_idx(0);
+                let node = self.netlist.constant(value as u8);
+                let table =
+                    MvTable::constant(lo.domains(), lo.output_arity(), value);
+                (node, table)
+            }
+            Some(v) => {
+                // Minimal compatible unary literal: per domain value, the
+                // lower bound (constant over the other variables).
+                let lut: Vec<u8> = (0..lo.domains()[v])
+                    .map(|value| lo.cofactor(v, value).get_idx(0) as u8)
+                    .collect();
+                let input = self.netlist.input(v);
+                let node = self.netlist.unary(input, lut.clone());
+                let table = MvTable::from_fn(lo.domains(), lo.output_arity(), |p| {
+                    lut[p[v]] as usize
+                });
+                debug_assert!(isf.contains(&table));
+                (node, table)
+            }
+        }
+    }
+
+    /// Figs. 5–6 transplanted: seed with a decomposable singleton pair,
+    /// grow greedily (smaller set first), best candidate by total then
+    /// balance; MIN wins ties.
+    fn best_grouping(&mut self, isf: &MvIsf, vars: &[usize]) -> Option<(bool, u32, u32)> {
+        let mut best: Option<(bool, u32, u32)> = None;
+        let score = |xa: u32, xb: u32| {
+            let (na, nb) = (xa.count_ones(), xb.count_ones());
+            (na + nb, std::cmp::Reverse(na.abs_diff(nb)))
+        };
+        for is_min in [true, false] {
+            if (is_min && !self.options.use_min) || (!is_min && !self.options.use_max) {
+                continue;
+            }
+            let check = |isf: &MvIsf, xa: u32, xb: u32| {
+                if is_min {
+                    isf.min_decomposable(xa, xb)
+                } else {
+                    isf.max_decomposable(xa, xb)
+                }
+            };
+            let mut found: Option<(u32, u32)> = None;
+            'seed: for (i, &x) in vars.iter().enumerate() {
+                for &y in &vars[i + 1..] {
+                    if check(isf, 1 << x, 1 << y) {
+                        found = Some((1 << x, 1 << y));
+                        break 'seed;
+                    }
+                }
+            }
+            let Some((mut xa, mut xb)) = found else { continue };
+            for &z in vars {
+                let zbit = 1u32 << z;
+                if (xa | xb) & zbit != 0 {
+                    continue;
+                }
+                let order = if xa.count_ones() <= xb.count_ones() {
+                    [(xa | zbit, xb), (xa, xb | zbit)]
+                } else {
+                    [(xa, xb | zbit), (xa | zbit, xb)]
+                };
+                for (na, nb) in order {
+                    if check(isf, na, nb) {
+                        xa = na;
+                        xb = nb;
+                        break;
+                    }
+                }
+            }
+            let better = match best {
+                None => true,
+                Some((_, ba, bb)) => score(xa, xb) > score(ba, bb),
+            };
+            if better {
+                best = Some((is_min, xa, xb));
+            }
+        }
+        best
+    }
+
+    fn strong(&mut self, isf: &MvIsf, is_min: bool, xa: u32, xb: u32) -> (MvNodeId, MvTable) {
+        if is_min {
+            self.stats.strong_min += 1;
+            let isf_a = isf.min_component_a(xa, xb);
+            let (node_a, fa) = self.recurse(&isf_a);
+            let isf_b = isf.min_component_b(&fa, xa);
+            let (node_b, fb) = self.recurse(&isf_b);
+            let node = self.netlist.min(node_a, node_b);
+            (node, fa.min(&fb))
+        } else {
+            self.stats.strong_max += 1;
+            let isf_a = isf.max_component_a(xa, xb);
+            let (node_a, fa) = self.recurse(&isf_a);
+            let isf_b = isf.max_component_b(&fa, xa);
+            let (node_b, fb) = self.recurse(&isf_b);
+            let node = self.netlist.max(node_a, node_b);
+            (node, fa.max(&fb))
+        }
+    }
+
+    /// MV Shannon expansion:
+    /// `F = MAX_v MIN(χ_{x=v}, F|_{x=v})`, with `χ_{x=v}` the unary
+    /// indicator literal taking the top value at `v` and 0 elsewhere.
+    fn shannon(&mut self, isf: &MvIsf, var: usize) -> (MvNodeId, MvTable) {
+        let domains = isf.lo().domains().to_vec();
+        let k = isf.lo().output_arity();
+        let top = (k - 1) as u8;
+        let input = self.netlist.input(var);
+        let mut acc: Option<(MvNodeId, MvTable)> = None;
+        for value in 0..domains[var] {
+            let branch_isf = isf.cofactor(var, value);
+            let (branch_node, branch_table) = self.recurse(&branch_isf);
+            let mut lut = vec![0u8; domains[var]];
+            lut[value] = top;
+            let indicator = self.netlist.unary(input, lut);
+            let indicator_table =
+                MvTable::from_fn(&domains, k, |p| if p[var] == value { top as usize } else { 0 });
+            let guarded = self.netlist.min(indicator, branch_node);
+            let guarded_table = indicator_table.min(&branch_table);
+            acc = Some(match acc {
+                None => (guarded, guarded_table),
+                Some((node, table)) => {
+                    (self.netlist.max(node, guarded), table.max(&guarded_table))
+                }
+            });
+        }
+        acc.expect("domains are ≥ 2, so at least one branch exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exhaustive_check(isf: &MvIsf, nl: &MvNetlist, root: MvNodeId) {
+        for p in isf.lo().points() {
+            let got = nl.eval(root, &p);
+            assert!(
+                isf.lo().get(&p) <= got && got <= isf.hi().get(&p),
+                "point {p:?}: {got} outside [{}, {}]",
+                isf.lo().get(&p),
+                isf.hi().get(&p)
+            );
+        }
+    }
+
+    #[test]
+    fn min_of_literals() {
+        let f = MvTable::from_fn(&[3, 3], 3, |p| p[0].min(p[1]));
+        let isf = MvIsf::from_table(&f);
+        let (nl, root, stats) = decompose_with_options(&isf, &MvOptions::default());
+        exhaustive_check(&isf, &nl, root);
+        assert_eq!(stats.strong_min, 1);
+        assert_eq!(nl.min_max_gates(), 1);
+    }
+
+    #[test]
+    fn nested_min_max_tree() {
+        // f = max(min(x0, x1), min(x2, x3)) over ternary variables.
+        let f = MvTable::from_fn(&[3, 3, 3, 3], 3, |p| {
+            (p[0].min(p[1])).max(p[2].min(p[3]))
+        });
+        let isf = MvIsf::from_table(&f);
+        let (nl, root, stats) = decompose_with_options(&isf, &MvOptions::default());
+        exhaustive_check(&isf, &nl, root);
+        assert_eq!(nl.min_max_gates(), 3, "optimal MIN/MIN/MAX tree");
+        assert_eq!(stats.shannon, 0);
+    }
+
+    #[test]
+    fn modular_sum_needs_shannon() {
+        let f = MvTable::from_fn(&[3, 3], 3, |p| (p[0] + p[1]) % 3);
+        let isf = MvIsf::from_table(&f);
+        let (nl, root, stats) = decompose_with_options(&isf, &MvOptions::default());
+        exhaustive_check(&isf, &nl, root);
+        assert!(stats.shannon > 0, "the MV parity analogue has no MIN/MAX split");
+    }
+
+    #[test]
+    fn mixed_domains_and_unary_terminals() {
+        // f(x0 ∈ 4, x1 ∈ 2) = max(reverse(x0), 3·x1) with k = 4.
+        let f = MvTable::from_fn(&[4, 2], 4, |p| (3 - p[0]).max(3 * p[1]));
+        let isf = MvIsf::from_table(&f);
+        let (nl, root, stats) = decompose_with_options(&isf, &MvOptions::default());
+        exhaustive_check(&isf, &nl, root);
+        assert_eq!(stats.strong_max, 1);
+        assert!(nl.unary_count() >= 1, "the reversed literal needs a unary LUT");
+    }
+
+    #[test]
+    fn intervals_shrink_the_network() {
+        // A nearly-free interval collapses to a constant.
+        let lo = MvTable::constant(&[3, 3], 3, 0);
+        let mut hi = MvTable::constant(&[3, 3], 3, 2);
+        hi.set(&[0, 0], 1);
+        let isf = MvIsf::new(lo, hi);
+        let (nl, root, stats) = decompose_with_options(&isf, &MvOptions::default());
+        exhaustive_check(&isf, &nl, root);
+        assert_eq!(nl.min_max_gates(), 0, "constant 0 fits the interval");
+        assert_eq!(stats.calls, 1);
+    }
+
+    #[test]
+    fn randomized_soundness_sweep() {
+        let mut lcg = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (lcg >> 33) as usize
+        };
+        for _ in 0..30 {
+            let base = MvTable::from_fn(&[3, 2, 3], 4, |_| next() % 4);
+            let slack = MvTable::from_fn(&[3, 2, 3], 4, |_| next() % 4);
+            let isf = MvIsf::new(base.min(&slack), base.max(&slack));
+            let (nl, root, _) = decompose_with_options(&isf, &MvOptions::default());
+            exhaustive_check(&isf, &nl, root);
+        }
+    }
+
+    #[test]
+    fn boolean_case_agrees_with_and_or_structure() {
+        // Over Boolean domains the decomposer is an AND/OR decomposer:
+        // f = (x0 ∧ x1) ∨ x2 yields 2 gates.
+        let f = MvTable::from_fn(&[2, 2, 2], 2, |p| ((p[0] & p[1]) | p[2]).min(1));
+        let isf = MvIsf::from_table(&f);
+        let (nl, root, _) = decompose_with_options(&isf, &MvOptions::default());
+        exhaustive_check(&isf, &nl, root);
+        assert_eq!(nl.min_max_gates(), 2);
+    }
+
+    #[test]
+    fn options_disable_gates() {
+        let f = MvTable::from_fn(&[3, 3], 3, |p| p[0].min(p[1]));
+        let isf = MvIsf::from_table(&f);
+        let (nl, root, stats) = decompose_with_options(
+            &isf,
+            &MvOptions { use_min: false, use_max: true },
+        );
+        exhaustive_check(&isf, &nl, root);
+        assert_eq!(stats.strong_min, 0);
+        assert!(stats.shannon > 0 || stats.strong_max > 0);
+    }
+}

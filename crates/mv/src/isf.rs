@@ -1,0 +1,385 @@
+//! Incompletely specified multi-valued functions as pointwise intervals.
+
+use crate::MvTable;
+
+/// An incompletely specified MV function: at every input point the value
+/// may be anything in `[lo(x), hi(x)]`.
+///
+/// This is the MV generalization of the paper's on-set/off-set pair: for
+/// `k = 2`, `lo = Q` (points forced to 1) and `hi = ¬R` (complement of
+/// the points forced to 0).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MvIsf {
+    lo: MvTable,
+    hi: MvTable,
+}
+
+impl MvIsf {
+    /// Creates an interval from its bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds have different signatures or `lo ≰ hi`
+    /// somewhere (empty interval).
+    pub fn new(lo: MvTable, hi: MvTable) -> Self {
+        assert!(lo.le(&hi), "interval must satisfy lo ≤ hi pointwise");
+        MvIsf { lo, hi }
+    }
+
+    /// The interval containing exactly one function.
+    pub fn from_table(f: &MvTable) -> Self {
+        MvIsf { lo: f.clone(), hi: f.clone() }
+    }
+
+    /// The lower bound.
+    pub fn lo(&self) -> &MvTable {
+        &self.lo
+    }
+
+    /// The upper bound.
+    pub fn hi(&self) -> &MvTable {
+        &self.hi
+    }
+
+    /// Is `f` compatible with the interval (`lo ≤ f ≤ hi`)?
+    pub fn contains(&self, f: &MvTable) -> bool {
+        self.lo.le(f) && f.le(&self.hi)
+    }
+
+    /// Variables at least one bound depends on.
+    pub fn support_mask(&self) -> u32 {
+        self.lo.support_mask() | self.hi.support_mask()
+    }
+
+    /// Cofactor of the interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var`/`value` are out of range.
+    pub fn cofactor(&self, var: usize, value: usize) -> MvIsf {
+        MvIsf { lo: self.lo.cofactor(var, value), hi: self.hi.cofactor(var, value) }
+    }
+
+    /// Is `var` inessential — does the interval contain a completion
+    /// independent of it? True iff `max_var lo ≤ min_var hi` (the MV
+    /// generalization of the paper's `∃v Q · ∃v R = 0`).
+    pub fn is_inessential(&self, var: usize) -> bool {
+        let mask = 1u32 << var;
+        self.lo.max_over(mask).le(&self.hi.min_over(mask))
+    }
+
+    /// The paper's `RemoveInessentialVariables`, transplanted: greedily
+    /// quantifies inessential variables out of both bounds. Returns the
+    /// reduced interval and how many variables went.
+    pub fn remove_inessential(&self) -> (MvIsf, usize) {
+        let mut isf = self.clone();
+        let mut removed = 0;
+        for var in 0..self.lo.num_vars() {
+            if isf.support_mask() & (1 << var) != 0 && isf.is_inessential(var) {
+                let mask = 1u32 << var;
+                isf = MvIsf {
+                    lo: isf.lo.max_over(mask),
+                    hi: isf.hi.min_over(mask),
+                };
+                removed += 1;
+            }
+        }
+        (isf, removed)
+    }
+
+    /// **MIN-bi-decomposability** with dedicated sets `(X_A, X_B)` (bit
+    /// masks): does a completion `F = MIN(A, B)` exist with `A`
+    /// independent of `X_B` and `B` independent of `X_A`?
+    ///
+    /// Generalizes the paper's AND case of Theorem 1. Any valid `A` must
+    /// dominate `max_{X_B} lo` (the smallest `X_B`-independent function
+    /// above the lower bound) and similarly for `B`, so the decomposition
+    /// exists iff `min(max_{X_B} lo, max_{X_A} lo) ≤ hi`.
+    pub fn min_decomposable(&self, xa: u32, xb: u32) -> bool {
+        assert_eq!(xa & xb, 0, "X_A and X_B must be disjoint");
+        let a_floor = self.lo.max_over(xb);
+        let b_floor = self.lo.max_over(xa);
+        a_floor.min(&b_floor).le(&self.hi)
+    }
+
+    /// **MAX-bi-decomposability** — the dual of
+    /// [`min_decomposable`](MvIsf::min_decomposable): exists
+    /// `F = MAX(A, B)` iff `lo ≤ max(min_{X_B} hi, min_{X_A} hi)`.
+    pub fn max_decomposable(&self, xa: u32, xb: u32) -> bool {
+        assert_eq!(xa & xb, 0, "X_A and X_B must be disjoint");
+        let a_ceil = self.hi.min_over(xb);
+        let b_ceil = self.hi.min_over(xa);
+        self.lo.le(&a_ceil.max(&b_ceil))
+    }
+
+    /// Component A of a MIN decomposition: the interval
+    /// `[max_{X_B} lo, hi_A]`, where `hi_A` caps A at `hi` on the points
+    /// the canonical B (`max_{X_A} lo`) cannot pull down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets overlap or the ISF is not MIN-decomposable with
+    /// them.
+    pub fn min_component_a(&self, xa: u32, xb: u32) -> MvIsf {
+        assert!(self.min_decomposable(xa, xb), "ISF is not MIN-decomposable with these sets");
+        let a_floor = self.lo.max_over(xb);
+        let b_canonical = self.lo.max_over(xa);
+        let top = (self.hi.output_arity() - 1) as u8;
+        // Where B's floor already exceeds hi, A must come down to hi;
+        // elsewhere A is unconstrained above. The cap must be
+        // X_B-independent, so take the min over X_B of the pointwise cap.
+        let cap = pointwise(&self.hi, |idx, hi| {
+            if b_canonical.get_idx(idx) > hi {
+                hi as u8
+            } else {
+                top
+            }
+        });
+        let hi_a = cap.min_over(xb);
+        MvIsf::new(a_floor, hi_a)
+    }
+
+    /// Component B of a MIN decomposition, given the chosen completion
+    /// `f_a` of component A (the analogue of Theorem 4: B absorbs the
+    /// freedom A left unused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_a` is not compatible with
+    /// [`min_component_a`](MvIsf::min_component_a)'s interval.
+    pub fn min_component_b(&self, f_a: &MvTable, xa: u32) -> MvIsf {
+        let b_floor = self.lo.max_over(xa);
+        let top = (self.hi.output_arity() - 1) as u8;
+        let cap = pointwise(&self.hi, |idx, hi| {
+            if f_a.get_idx(idx) > hi {
+                hi as u8
+            } else {
+                top
+            }
+        });
+        let hi_b = cap.min_over(xa);
+        MvIsf::new(b_floor, hi_b)
+    }
+
+    /// Component A of a MAX decomposition (dual of
+    /// [`min_component_a`](MvIsf::min_component_a)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets overlap or the ISF is not MAX-decomposable with
+    /// them.
+    pub fn max_component_a(&self, xa: u32, xb: u32) -> MvIsf {
+        assert!(self.max_decomposable(xa, xb), "ISF is not MAX-decomposable with these sets");
+        let a_ceil = self.hi.min_over(xb);
+        let b_canonical = self.hi.min_over(xa);
+        let floor = pointwise(&self.lo, |idx, lo| {
+            if b_canonical.get_idx(idx) < lo {
+                lo as u8
+            } else {
+                0
+            }
+        });
+        let lo_a = floor.max_over(xb);
+        MvIsf::new(lo_a, a_ceil)
+    }
+
+    /// Component B of a MAX decomposition given `f_a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_a` is not compatible with component A's interval.
+    pub fn max_component_b(&self, f_a: &MvTable, xa: u32) -> MvIsf {
+        let b_ceil = self.hi.min_over(xa);
+        let floor = pointwise(&self.lo, |idx, lo| {
+            if f_a.get_idx(idx) < lo {
+                lo as u8
+            } else {
+                0
+            }
+        });
+        let lo_b = floor.max_over(xa);
+        MvIsf::new(lo_b, b_ceil)
+    }
+}
+
+/// Builds a table with the same signature as `like`, computing each point
+/// from its linear index and `like`'s value there.
+fn pointwise(like: &MvTable, f: impl Fn(usize, usize) -> u8) -> MvTable {
+    let mut out = like.clone();
+    let mut point = vec![0usize; like.num_vars()];
+    for idx in 0..like.len() {
+        MvTable::decode_into(like.domains(), idx, &mut point);
+        let v = f(idx, like.get_idx(idx));
+        out.set(&point, v as usize);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_of_vars_is_min_decomposable() {
+        let f = MvTable::from_fn(&[3, 3], 3, |p| p[0].min(p[1]));
+        let isf = MvIsf::from_table(&f);
+        assert!(isf.min_decomposable(0b01, 0b10));
+        assert!(!isf.max_decomposable(0b01, 0b10));
+        let a = isf.min_component_a(0b01, 0b10);
+        // A is forced to be exactly x0.
+        let x0 = MvTable::from_fn(&[3, 3], 3, |p| p[0]);
+        assert!(a.contains(&x0));
+        let b = isf.min_component_b(&x0, 0b01);
+        let x1 = MvTable::from_fn(&[3, 3], 3, |p| p[1]);
+        assert!(b.contains(&x1));
+        let recomposed = x0.min(&x1);
+        assert!(isf.contains(&recomposed));
+    }
+
+    #[test]
+    fn max_of_vars_is_max_decomposable() {
+        let f = MvTable::from_fn(&[4, 2], 4, |p| p[0].max(3 * p[1]));
+        let isf = MvIsf::from_table(&f);
+        assert!(isf.max_decomposable(0b01, 0b10));
+        let a = isf.max_component_a(0b01, 0b10);
+        let fa = a.lo().clone(); // minimal completion
+        let b = isf.max_component_b(&fa, 0b01);
+        let fb = b.lo().clone();
+        assert!(isf.contains(&fa.max(&fb)));
+        assert!(!fa.depends_on(1));
+        assert!(!fb.depends_on(0));
+    }
+
+    #[test]
+    fn undecomposable_mixed_function() {
+        // f = (x0 + x1) mod 3 is neither MIN- nor MAX-decomposable with
+        // disjoint singletons (it is the MV parity analogue).
+        let f = MvTable::from_fn(&[3, 3], 3, |p| (p[0] + p[1]) % 3);
+        let isf = MvIsf::from_table(&f);
+        assert!(!isf.min_decomposable(0b01, 0b10));
+        assert!(!isf.max_decomposable(0b01, 0b10));
+    }
+
+    #[test]
+    fn intervals_enable_decomposition() {
+        // The modular sum becomes MIN-decomposable once enough slack is
+        // allowed: widen to the full range everywhere except two anchor
+        // points.
+        let f = MvTable::from_fn(&[3, 3], 3, |p| (p[0] + p[1]) % 3);
+        let lo = MvTable::from_fn(&[3, 3], 3, |p| {
+            if p == [0, 0] {
+                f.get(p)
+            } else {
+                0
+            }
+        });
+        let hi = MvTable::from_fn(&[3, 3], 3, |p| if p == [2, 2] { f.get(p) } else { 2 });
+        let isf = MvIsf::new(lo, hi);
+        assert!(isf.min_decomposable(0b01, 0b10));
+        let a = isf.min_component_a(0b01, 0b10);
+        let fa = a.lo().clone();
+        let b = isf.min_component_b(&fa, 0b01);
+        let fb = b.lo().clone();
+        assert!(isf.contains(&fa.min(&fb)));
+    }
+
+    #[test]
+    fn boolean_case_matches_boolfn_oracles() {
+        use boolfn::{oracle, TruthTable};
+        // Random 4-variable Boolean ISFs: MIN ↔ AND, MAX ↔ OR.
+        for seed in 0..40u64 {
+            let f = TruthTable::random(4, 0.5, seed);
+            let care = TruthTable::random(4, 0.6, seed ^ 0xc0de);
+            let q = f.and(&care);
+            let r = f.complement().and(&care);
+            let domains = [2usize, 2, 2, 2];
+            let lo = MvTable::from_fn(&domains, 2, |p| {
+                let m = p.iter().enumerate().fold(0u32, |acc, (i, &v)| acc | ((v as u32) << i));
+                usize::from(q.get(m))
+            });
+            let hi = MvTable::from_fn(&domains, 2, |p| {
+                let m = p.iter().enumerate().fold(0u32, |acc, (i, &v)| acc | ((v as u32) << i));
+                usize::from(!r.get(m))
+            });
+            let isf = MvIsf::new(lo, hi);
+            for (xa, xb) in [(0b0011u32, 0b1100u32), (0b0001, 0b0010), (0b0101, 0b1010)] {
+                assert_eq!(
+                    isf.min_decomposable(xa, xb),
+                    oracle::and_bidecomposable(&q, &r, xa, xb),
+                    "MIN/AND seed {seed} sets {xa:b}/{xb:b}"
+                );
+                assert_eq!(
+                    isf.max_decomposable(xa, xb),
+                    oracle::or_bidecomposable(&q, &r, xa, xb),
+                    "MAX/OR seed {seed} sets {xa:b}/{xb:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn component_soundness_random_sweep() {
+        // For random ternary ISFs: whenever the check passes, deriving A,
+        // completing it arbitrarily (lo and hi), deriving B and
+        // recomposing stays inside the interval.
+        let mut lcg = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (lcg >> 33) as usize
+        };
+        let mut decomposable_seen = 0;
+        for _ in 0..60 {
+            let base = MvTable::from_fn(&[3, 3, 2], 3, |_| next() % 3);
+            let slack = MvTable::from_fn(&[3, 3, 2], 3, |_| next() % 3);
+            let lo = base.min(&slack);
+            let hi = base.max(&slack);
+            let isf = MvIsf::new(lo, hi);
+            for (xa, xb) in [(0b001u32, 0b010u32), (0b001, 0b110), (0b010, 0b101)] {
+                if !isf.min_decomposable(xa, xb) {
+                    continue;
+                }
+                decomposable_seen += 1;
+                let a = isf.min_component_a(xa, xb);
+                for fa in [a.lo().clone(), a.hi().clone()] {
+                    assert!(a.contains(&fa));
+                    let b = isf.min_component_b(&fa, xa);
+                    for fb in [b.lo().clone(), b.hi().clone()] {
+                        let f = fa.min(&fb);
+                        assert!(isf.contains(&f), "recomposition must fit");
+                    }
+                }
+            }
+        }
+        assert!(decomposable_seen > 5, "sweep must hit decomposable cases");
+    }
+
+    #[test]
+    fn inessential_removal() {
+        // lo = const 0, hi almost const 2: everything is inessential.
+        let lo = MvTable::constant(&[3, 3], 3, 0);
+        let mut hi = MvTable::constant(&[3, 3], 3, 2);
+        hi.set(&[0, 0], 1);
+        let isf = MvIsf::new(lo, hi);
+        assert!(isf.is_inessential(0));
+        assert!(isf.is_inessential(1));
+        let (reduced, removed) = isf.remove_inessential();
+        assert_eq!(removed, 2);
+        assert_eq!(reduced.support_mask(), 0);
+        // Every completion of the reduced interval fits the original.
+        assert!(isf.contains(reduced.lo()));
+        // A pinned function keeps its support.
+        let f = MvTable::from_fn(&[3, 3], 3, |p| p[0]);
+        let pinned = MvIsf::from_table(&f);
+        let (same, zero) = pinned.remove_inessential();
+        assert_eq!(zero, 0);
+        assert_eq!(same, pinned);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo ≤ hi")]
+    fn empty_interval_panics() {
+        let lo = MvTable::constant(&[2], 3, 2);
+        let hi = MvTable::constant(&[2], 3, 0);
+        let _ = MvIsf::new(lo, hi);
+    }
+}

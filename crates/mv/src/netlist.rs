@@ -1,0 +1,201 @@
+//! Networks of two-input MIN/MAX gates over unary literals — the MV
+//! analogue of the two-input Boolean netlist.
+
+use std::collections::HashMap;
+
+/// Index of a node in an [`MvNetlist`].
+pub type MvNodeId = u32;
+
+/// A node of an MV network.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MvGate {
+    /// Primary input variable `var` (value passed through unchanged).
+    Input {
+        /// The variable index.
+        var: usize,
+    },
+    /// Constant output value.
+    Const(u8),
+    /// Unary literal: a per-value lookup applied to a fanin
+    /// (`out = lut[value(fanin)]`) — the MV generalization of a
+    /// literal/inverter.
+    Unary {
+        /// The fanin node.
+        input: MvNodeId,
+        /// Output value per fanin value.
+        lut: Vec<u8>,
+    },
+    /// Two-input minimum (the MV AND).
+    Min(MvNodeId, MvNodeId),
+    /// Two-input maximum (the MV OR).
+    Max(MvNodeId, MvNodeId),
+}
+
+/// A DAG of MV gates with structural hashing.
+#[derive(Clone, Debug, Default)]
+pub struct MvNetlist {
+    nodes: Vec<MvGate>,
+    strash: HashMap<MvGate, MvNodeId>,
+}
+
+impl MvNetlist {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All nodes in creation (topological) order.
+    pub fn nodes(&self) -> &[MvGate] {
+        &self.nodes
+    }
+
+    /// The node behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn gate(&self, id: MvNodeId) -> &MvGate {
+        &self.nodes[id as usize]
+    }
+
+    /// Adds (or reuses) a primary input node for variable `var`.
+    pub fn input(&mut self, var: usize) -> MvNodeId {
+        self.intern(MvGate::Input { var })
+    }
+
+    /// Adds (or reuses) a constant node.
+    pub fn constant(&mut self, value: u8) -> MvNodeId {
+        self.intern(MvGate::Const(value))
+    }
+
+    /// Adds (or reuses) a unary literal; an identity LUT collapses to its
+    /// fanin, a constant LUT to a constant.
+    pub fn unary(&mut self, input: MvNodeId, lut: Vec<u8>) -> MvNodeId {
+        if lut.windows(2).all(|w| w[0] == w[1]) && !lut.is_empty() {
+            return self.constant(lut[0]);
+        }
+        if lut.iter().enumerate().all(|(i, &v)| v as usize == i) {
+            return input;
+        }
+        // Unary of unary composes.
+        if let MvGate::Unary { input: inner, lut: inner_lut } = self.gate(input).clone() {
+            let composed: Vec<u8> = inner_lut.iter().map(|&v| lut[v as usize]).collect();
+            return self.unary(inner, composed);
+        }
+        if let MvGate::Const(v) = *self.gate(input) {
+            return self.constant(lut[v as usize]);
+        }
+        self.intern(MvGate::Unary { input, lut })
+    }
+
+    /// Adds (or reuses) a MIN gate (idempotence and operand order
+    /// normalized).
+    pub fn min(&mut self, a: MvNodeId, b: MvNodeId) -> MvNodeId {
+        if a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(MvGate::Min(a, b))
+    }
+
+    /// Adds (or reuses) a MAX gate.
+    pub fn max(&mut self, a: MvNodeId, b: MvNodeId) -> MvNodeId {
+        if a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(MvGate::Max(a, b))
+    }
+
+    fn intern(&mut self, gate: MvGate) -> MvNodeId {
+        if let Some(&id) = self.strash.get(&gate) {
+            return id;
+        }
+        let id = self.nodes.len() as MvNodeId;
+        self.nodes.push(gate.clone());
+        self.strash.insert(gate, id);
+        id
+    }
+
+    /// Evaluates node `root` on an input assignment (one value per
+    /// variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input variable index exceeds the assignment length.
+    pub fn eval(&self, root: MvNodeId, assignment: &[usize]) -> usize {
+        let mut values = vec![0u8; self.nodes.len()];
+        for (idx, gate) in self.nodes.iter().enumerate() {
+            values[idx] = match gate {
+                MvGate::Input { var } => assignment[*var] as u8,
+                MvGate::Const(v) => *v,
+                MvGate::Unary { input, lut } => lut[values[*input as usize] as usize],
+                MvGate::Min(a, b) => values[*a as usize].min(values[*b as usize]),
+                MvGate::Max(a, b) => values[*a as usize].max(values[*b as usize]),
+            };
+        }
+        values[root as usize] as usize
+    }
+
+    /// Number of two-input MIN/MAX gates.
+    pub fn min_max_gates(&self) -> usize {
+        self.nodes.iter().filter(|g| matches!(g, MvGate::Min(..) | MvGate::Max(..))).count()
+    }
+
+    /// Number of unary literal nodes.
+    pub fn unary_count(&self) -> usize {
+        self.nodes.iter().filter(|g| matches!(g, MvGate::Unary { .. })).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_hashing_and_identities() {
+        let mut nl = MvNetlist::new();
+        let x = nl.input(0);
+        let y = nl.input(1);
+        assert_eq!(nl.min(x, y), nl.min(y, x));
+        assert_eq!(nl.min(x, x), x);
+        assert_eq!(nl.max(y, y), y);
+        assert_eq!(nl.input(0), x, "inputs are shared");
+        // Identity LUT collapses.
+        assert_eq!(nl.unary(x, vec![0, 1, 2]), x);
+        // Constant LUT collapses.
+        let c = nl.unary(x, vec![1, 1, 1]);
+        assert!(matches!(nl.gate(c), MvGate::Const(1)));
+    }
+
+    #[test]
+    fn unary_composition() {
+        let mut nl = MvNetlist::new();
+        let x = nl.input(0);
+        let u1 = nl.unary(x, vec![2, 1, 0]); // reverse a ternary value
+        let u2 = nl.unary(u1, vec![2, 1, 0]); // reverse again = identity
+        assert_eq!(u2, x);
+        let u3 = nl.unary(u1, vec![0, 0, 2]);
+        for v in 0..3usize {
+            let expected = [0usize, 0, 2][2 - v];
+            assert_eq!(nl.eval(u3, &[v]), expected);
+        }
+    }
+
+    #[test]
+    fn evaluation() {
+        let mut nl = MvNetlist::new();
+        let x = nl.input(0);
+        let y = nl.input(1);
+        let m = nl.min(x, y);
+        let t = nl.constant(1);
+        let f = nl.max(m, t);
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(nl.eval(f, &[a, b]), a.min(b).max(1));
+            }
+        }
+        assert_eq!(nl.min_max_gates(), 2);
+        assert_eq!(nl.unary_count(), 0);
+    }
+}

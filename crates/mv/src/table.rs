@@ -1,0 +1,332 @@
+//! Dense multi-valued function tables.
+
+use std::fmt;
+
+/// A completely specified multi-valued function: each input variable `i`
+/// ranges over `{0, .., domains[i]-1}`, the output over `{0, .., k-1}`.
+///
+/// Stored densely, one `u8` per point of the mixed-radix input space
+/// (intended for the small arities of MV decomposition research: total
+/// space ≤ 2²⁰ points, values ≤ 255).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct MvTable {
+    domains: Vec<usize>,
+    k: usize,
+    values: Vec<u8>,
+}
+
+/// Maximum number of points an [`MvTable`] may hold.
+pub const MAX_MV_POINTS: usize = 1 << 20;
+
+impl MvTable {
+    /// Builds a table by evaluating `f` on every point (the slice passed
+    /// to `f` holds one value per variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input space exceeds 2²⁰ points, `k` is not in
+    /// `2..=256`, any domain is smaller than 2, or `f` returns a value
+    /// `≥ k`.
+    pub fn from_fn(domains: &[usize], k: usize, mut f: impl FnMut(&[usize]) -> usize) -> Self {
+        assert!((2..=256).contains(&k), "output arity k must be in 2..=256");
+        assert!(domains.iter().all(|&d| d >= 2), "variable domains must be ≥ 2");
+        let size: usize = domains.iter().product();
+        assert!(size <= MAX_MV_POINTS, "input space too large ({size} points)");
+        let mut point = vec![0usize; domains.len()];
+        let mut values = Vec::with_capacity(size);
+        for idx in 0..size {
+            Self::decode_into(domains, idx, &mut point);
+            let v = f(&point);
+            assert!(v < k, "function value {v} out of range 0..{k}");
+            values.push(v as u8);
+        }
+        MvTable { domains: domains.to_vec(), k, values }
+    }
+
+    /// The constant function `value`.
+    ///
+    /// # Panics
+    ///
+    /// As [`MvTable::from_fn`].
+    pub fn constant(domains: &[usize], k: usize, value: usize) -> Self {
+        Self::from_fn(domains, k, |_| value)
+    }
+
+    /// The domain sizes of the input variables.
+    pub fn domains(&self) -> &[usize] {
+        &self.domains
+    }
+
+    /// Number of input variables.
+    pub fn num_vars(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// The output arity `k`.
+    pub fn output_arity(&self) -> usize {
+        self.k
+    }
+
+    /// Number of points of the input space.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` iff the input space is empty (no variables means one point,
+    /// so this is never true for valid tables).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value at a point given as one value per variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point is malformed.
+    pub fn get(&self, point: &[usize]) -> usize {
+        self.values[self.encode(point)] as usize
+    }
+
+    /// The value at a linear (mixed-radix) index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn get_idx(&self, idx: usize) -> usize {
+        self.values[idx] as usize
+    }
+
+    /// Sets the value at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point is malformed or `value >= k`.
+    pub fn set(&mut self, point: &[usize], value: usize) {
+        assert!(value < self.k, "value {value} out of range");
+        let idx = self.encode(point);
+        self.values[idx] = value as u8;
+    }
+
+    /// Pointwise minimum of two tables over the same signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics on signature mismatch.
+    pub fn min(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a.min(b))
+    }
+
+    /// Pointwise maximum of two tables over the same signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics on signature mismatch.
+    pub fn max(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a.max(b))
+    }
+
+    /// Pointwise `self ≤ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on signature mismatch.
+    pub fn le(&self, other: &Self) -> bool {
+        self.check_signature(other);
+        self.values.iter().zip(&other.values).all(|(a, b)| a <= b)
+    }
+
+    /// Maximum of the function over all values of the variables in
+    /// `var_mask` (bit `i` = variable `i`) — the MV analogue of `∃`.
+    pub fn max_over(&self, var_mask: u32) -> Self {
+        self.fold_over(var_mask, |a, b| a.max(b))
+    }
+
+    /// Minimum of the function over all values of the variables in
+    /// `var_mask` — the MV analogue of `∀`.
+    pub fn min_over(&self, var_mask: u32) -> Self {
+        self.fold_over(var_mask, |a, b| a.min(b))
+    }
+
+    /// Cofactor: fixes variable `var` to `value` (the table keeps its
+    /// arity; it simply no longer depends on `var`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` or `value` is out of range.
+    pub fn cofactor(&self, var: usize, value: usize) -> Self {
+        assert!(var < self.num_vars(), "variable out of range");
+        assert!(value < self.domains[var], "domain value out of range");
+        let domains = self.domains.clone();
+        let mut point = vec![0usize; domains.len()];
+        let mut values = Vec::with_capacity(self.values.len());
+        for idx in 0..self.values.len() {
+            Self::decode_into(&domains, idx, &mut point);
+            point[var] = value;
+            values.push(self.values[self.encode(&point)]);
+        }
+        MvTable { domains, k: self.k, values }
+    }
+
+    /// Does the function semantically depend on `var`?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn depends_on(&self, var: usize) -> bool {
+        (1..self.domains[var]).any(|v| self.cofactor(var, v) != self.cofactor(var, 0))
+    }
+
+    /// Bitmask of the variables the function depends on.
+    pub fn support_mask(&self) -> u32 {
+        (0..self.num_vars()).filter(|&v| self.depends_on(v)).fold(0, |m, v| m | (1 << v))
+    }
+
+    /// Iterates over all points of the input space as value vectors.
+    pub fn points(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
+        (0..self.values.len()).map(|idx| {
+            let mut point = vec![0usize; self.domains.len()];
+            Self::decode_into(&self.domains, idx, &mut point);
+            point
+        })
+    }
+
+    fn fold_over(&self, var_mask: u32, f: impl Fn(u8, u8) -> u8 + Copy) -> Self {
+        let mut out = self.clone();
+        for var in 0..self.num_vars() {
+            if var_mask & (1 << var) == 0 {
+                continue;
+            }
+            let mut acc = out.cofactor(var, 0);
+            for v in 1..self.domains[var] {
+                let c = out.cofactor(var, v);
+                acc = acc.zip(&c, f);
+            }
+            out = acc;
+        }
+        out
+    }
+
+    fn zip(&self, other: &Self, f: impl Fn(u8, u8) -> u8) -> Self {
+        self.check_signature(other);
+        let values =
+            self.values.iter().zip(&other.values).map(|(&a, &b)| f(a, b)).collect();
+        MvTable { domains: self.domains.clone(), k: self.k, values }
+    }
+
+    fn check_signature(&self, other: &Self) {
+        assert_eq!(self.domains, other.domains, "tables must share variable domains");
+        assert_eq!(self.k, other.k, "tables must share output arity");
+    }
+
+    pub(crate) fn encode(&self, point: &[usize]) -> usize {
+        assert_eq!(point.len(), self.domains.len(), "point arity mismatch");
+        let mut idx = 0;
+        for (i, (&v, &d)) in point.iter().zip(&self.domains).enumerate().rev() {
+            assert!(v < d, "value {v} out of domain {d} for variable {i}");
+            idx = idx * d + v;
+        }
+        idx
+    }
+
+    pub(crate) fn decode_into(domains: &[usize], mut idx: usize, point: &mut [usize]) {
+        for (slot, &d) in point.iter_mut().zip(domains) {
+            *slot = idx % d;
+            idx /= d;
+        }
+    }
+}
+
+impl fmt::Debug for MvTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MvTable(domains {:?}, k={}, {} points)",
+            self.domains,
+            self.k,
+            self.values.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let t = MvTable::from_fn(&[3, 2, 4], 5, |p| (p[0] + p[1] + p[2]) % 5);
+        assert_eq!(t.len(), 24);
+        for (idx, point) in t.points().enumerate() {
+            assert_eq!(t.encode(&point), idx);
+            assert_eq!(t.get(&point), t.get_idx(idx));
+            assert_eq!(t.get(&point), (point[0] + point[1] + point[2]) % 5);
+        }
+    }
+
+    #[test]
+    fn min_max_and_order() {
+        let a = MvTable::from_fn(&[3, 3], 4, |p| p[0]);
+        let b = MvTable::from_fn(&[3, 3], 4, |p| p[1]);
+        let lo = a.min(&b);
+        let hi = a.max(&b);
+        assert!(lo.le(&a) && lo.le(&b));
+        assert!(a.le(&hi) && b.le(&hi));
+        assert!(lo.le(&hi));
+        for p in lo.points() {
+            assert_eq!(lo.get(&p), p[0].min(p[1]));
+            assert_eq!(hi.get(&p), p[0].max(p[1]));
+        }
+    }
+
+    #[test]
+    fn quantifier_analogues() {
+        let t = MvTable::from_fn(&[3, 2], 4, |p| p[0] + p[1]); // values 0..=3
+        let mx = t.max_over(0b01);
+        let mn = t.min_over(0b01);
+        for p in t.points() {
+            assert_eq!(mx.get(&p), 2 + p[1], "max over x0 of x0+x1");
+            assert_eq!(mn.get(&p), p[1]);
+        }
+        // Quantifying both variables gives constants.
+        assert_eq!(t.max_over(0b11), MvTable::constant(&[3, 2], 4, 3));
+        assert_eq!(t.min_over(0b11), MvTable::constant(&[3, 2], 4, 0));
+    }
+
+    #[test]
+    fn cofactor_and_support() {
+        let t = MvTable::from_fn(&[3, 3, 2], 3, |p| p[0].min(2));
+        assert!(t.depends_on(0));
+        assert!(!t.depends_on(1));
+        assert!(!t.depends_on(2));
+        assert_eq!(t.support_mask(), 0b001);
+        let c = t.cofactor(0, 2);
+        assert_eq!(c, MvTable::constant(&[3, 3, 2], 3, 2));
+    }
+
+    #[test]
+    fn boolean_case_is_and_or() {
+        // domains = [2,2], k = 2: MIN = AND, MAX = OR.
+        let a = MvTable::from_fn(&[2, 2], 2, |p| p[0]);
+        let b = MvTable::from_fn(&[2, 2], 2, |p| p[1]);
+        let and = a.min(&b);
+        let or = a.max(&b);
+        for p in a.points() {
+            assert_eq!(and.get(&p) == 1, p[0] == 1 && p[1] == 1);
+            assert_eq!(or.get(&p) == 1, p[0] == 1 || p[1] == 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn value_range_checked() {
+        let _ = MvTable::from_fn(&[2], 2, |_| 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "share variable domains")]
+    fn signature_mismatch_panics() {
+        let a = MvTable::constant(&[2, 2], 2, 0);
+        let b = MvTable::constant(&[2, 3], 2, 0);
+        let _ = a.min(&b);
+    }
+}

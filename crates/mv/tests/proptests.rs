@@ -1,0 +1,91 @@
+//! Property tests for the multi-valued generalization.
+
+use mv::{decompose_with_options, MvIsf, MvOptions, MvTable};
+use proptest::prelude::*;
+
+/// A random MV interval over a fixed small signature.
+fn interval_strategy() -> impl Strategy<Value = MvIsf> {
+    let domains = [3usize, 2, 3];
+    let size: usize = domains.iter().product();
+    (
+        proptest::collection::vec(0usize..4, size),
+        proptest::collection::vec(0usize..4, size),
+    )
+        .prop_map(move |(a, b)| {
+            let ta = MvTable::from_fn(&domains, 4, |p| {
+                a[index(&domains, p)]
+            });
+            let tb = MvTable::from_fn(&domains, 4, |p| {
+                b[index(&domains, p)]
+            });
+            MvIsf::new(ta.min(&tb), ta.max(&tb))
+        })
+}
+
+fn index(domains: &[usize], point: &[usize]) -> usize {
+    let mut idx = 0;
+    for (&v, &d) in point.iter().zip(domains).rev() {
+        idx = idx * d + v;
+    }
+    idx
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn decomposition_stays_in_interval(isf in interval_strategy()) {
+        let (nl, root, _) = decompose_with_options(&isf, &MvOptions::default());
+        for p in isf.lo().points() {
+            let got = nl.eval(root, &p);
+            prop_assert!(isf.lo().get(&p) <= got && got <= isf.hi().get(&p),
+                "point {p:?}: {got} outside [{}, {}]",
+                isf.lo().get(&p), isf.hi().get(&p));
+        }
+    }
+
+    #[test]
+    fn check_is_sound_and_complete_for_derivation(isf in interval_strategy()) {
+        // Whenever the MIN check passes, the derived components recompose
+        // into the interval for the extreme completions; whenever it
+        // fails, the canonical floors violate the upper bound.
+        for (xa, xb) in [(0b001u32, 0b010u32), (0b010, 0b100), (0b001, 0b110)] {
+            let a_floor = isf.lo().max_over(xb);
+            let b_floor = isf.lo().max_over(xa);
+            let canonical = a_floor.min(&b_floor);
+            prop_assert_eq!(
+                isf.min_decomposable(xa, xb),
+                canonical.le(isf.hi()),
+                "check must coincide with the canonical recomposition"
+            );
+            if isf.min_decomposable(xa, xb) {
+                let a = isf.min_component_a(xa, xb);
+                let fa = a.lo().clone();
+                let b = isf.min_component_b(&fa, xa);
+                let f = fa.min(b.lo());
+                prop_assert!(isf.contains(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn shannon_only_configuration_is_still_sound(isf in interval_strategy()) {
+        let (nl, root, stats) = decompose_with_options(
+            &isf,
+            &MvOptions { use_min: false, use_max: false },
+        );
+        for p in isf.lo().points() {
+            let got = nl.eval(root, &p);
+            prop_assert!(isf.lo().get(&p) <= got && got <= isf.hi().get(&p));
+        }
+        prop_assert_eq!(stats.strong_min + stats.strong_max, 0);
+    }
+
+    #[test]
+    fn inessential_removal_preserves_compatibility(isf in interval_strategy()) {
+        let (reduced, _) = isf.remove_inessential();
+        // Any completion of the reduced interval fits the original.
+        prop_assert!(isf.contains(reduced.lo()));
+        prop_assert!(isf.contains(reduced.hi()));
+    }
+}

@@ -1,0 +1,391 @@
+//! BLIF export and import.
+//!
+//! The paper's program writes its results into BLIF files (§8, "CPU time
+//! ... needed to perform the bi-decomposition and write the results into a
+//! BLIF file"). The writer emits one `.names` block per live gate; the
+//! reader accepts arbitrary combinational single-output `.names` covers
+//! (so it can read back everything we write, plus simple SIS-style files).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::graph::{Gate, Gate2, Netlist, SignalId};
+
+impl Netlist {
+    /// Serializes the live part of the netlist as a BLIF model.
+    pub fn to_blif(&self, model: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, ".model {model}");
+        let names: Vec<String> =
+            self.inputs().iter().map(|&s| self.input_name(s).to_owned()).collect();
+        let _ = writeln!(out, ".inputs {}", names.join(" "));
+        let onames: Vec<&str> = self.outputs().iter().map(|(n, _)| n.as_str()).collect();
+        let _ = writeln!(out, ".outputs {}", onames.join(" "));
+        let signal_name = |s: SignalId| -> String {
+            match self.gate(s) {
+                Gate::Input(name) => name.clone(),
+                _ => format!("n{s}"),
+            }
+        };
+        for &s in &self.live_signals() {
+            match *self.gate(s) {
+                Gate::Input(_) => {}
+                Gate::Const(v) => {
+                    let _ = writeln!(out, ".names n{s}");
+                    if v {
+                        let _ = writeln!(out, "1");
+                    }
+                }
+                Gate::Not(a) => {
+                    let _ = writeln!(out, ".names {} n{s}", signal_name(a));
+                    let _ = writeln!(out, "0 1");
+                }
+                Gate::Binary(op, a, b) => {
+                    let _ =
+                        writeln!(out, ".names {} {} n{s}", signal_name(a), signal_name(b));
+                    let cover = match op {
+                        Gate2::And => "11 1\n",
+                        Gate2::Or => "1- 1\n-1 1\n",
+                        Gate2::Xor => "10 1\n01 1\n",
+                        Gate2::Nand => "0- 1\n-0 1\n",
+                        Gate2::Nor => "00 1\n",
+                        Gate2::Xnor => "11 1\n00 1\n",
+                    };
+                    out.push_str(cover);
+                }
+            }
+        }
+        // Output buffers bind internal names to the declared output names.
+        for (name, s) in self.outputs() {
+            let _ = writeln!(out, ".names {} {name}", signal_name(*s));
+            let _ = writeln!(out, "1 1");
+        }
+        out.push_str(".end\n");
+        out
+    }
+
+    /// Parses a combinational BLIF model (the subset with `.model`,
+    /// `.inputs`, `.outputs`, single-output `.names` covers and `.end`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBlifError`] on sequential elements (`.latch`),
+    /// undriven signals, combinational cycles or malformed covers.
+    pub fn from_blif(text: &str) -> Result<Netlist, ParseBlifError> {
+        let mut inputs: Vec<String> = Vec::new();
+        let mut outputs: Vec<String> = Vec::new();
+        let mut defs: Defs = HashMap::new();
+        let mut current: Option<String> = None;
+
+        // Join continuation lines ending with '\'.
+        let mut logical_lines: Vec<String> = Vec::new();
+        let mut pending = String::new();
+        for raw in text.lines() {
+            let line = raw.split('#').next().unwrap_or("").trim_end();
+            if let Some(stripped) = line.strip_suffix('\\') {
+                pending.push_str(stripped);
+                pending.push(' ');
+            } else {
+                pending.push_str(line);
+                logical_lines.push(std::mem::take(&mut pending));
+            }
+        }
+
+        for line in &logical_lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('.') {
+                let mut parts = rest.split_whitespace();
+                match parts.next().unwrap_or("") {
+                    "model" => {}
+                    "inputs" => inputs.extend(parts.map(str::to_owned)),
+                    "outputs" => outputs.extend(parts.map(str::to_owned)),
+                    "names" => {
+                        let mut signals: Vec<String> = parts.map(str::to_owned).collect();
+                        let target = signals.pop().ok_or_else(|| {
+                            ParseBlifError::new(".names needs at least an output")
+                        })?;
+                        defs.insert(target.clone(), (signals, Vec::new()));
+                        current = Some(target);
+                    }
+                    "end" => current = None,
+                    "latch" => {
+                        return Err(ParseBlifError::new(
+                            "sequential BLIF (.latch) is not supported",
+                        ));
+                    }
+                    other => {
+                        return Err(ParseBlifError::new(format!(
+                            "unsupported directive .{other}"
+                        )));
+                    }
+                }
+                continue;
+            }
+            // A cover row for the current .names block.
+            let target = current
+                .as_ref()
+                .ok_or_else(|| ParseBlifError::new("cover row outside .names block"))?;
+            let def = defs.get_mut(target).expect("current target is defined");
+            let mut parts = line.split_whitespace();
+            let (ins, out_char) = if def.0.is_empty() {
+                ("".to_owned(), line.trim().chars().next().unwrap_or('1'))
+            } else {
+                let ins = parts
+                    .next()
+                    .ok_or_else(|| ParseBlifError::new("cover row missing input part"))?
+                    .to_owned();
+                let out = parts
+                    .next()
+                    .and_then(|s| s.chars().next())
+                    .ok_or_else(|| ParseBlifError::new("cover row missing output part"))?;
+                (ins, out)
+            };
+            if ins.len() != def.0.len() {
+                return Err(ParseBlifError::new(format!(
+                    "cover row arity {} does not match .names arity {}",
+                    ins.len(),
+                    def.0.len()
+                )));
+            }
+            def.1.push((ins, out_char));
+        }
+
+        let mut nl = Netlist::new();
+        let mut signals: HashMap<String, SignalId> = HashMap::new();
+        for name in &inputs {
+            let s = nl.add_input(name.clone());
+            signals.insert(name.clone(), s);
+        }
+        // Resolve definitions depth-first.
+        let mut in_progress: Vec<String> = Vec::new();
+        for name in &outputs {
+            let s = resolve(name, &defs, &mut signals, &mut nl, &mut in_progress)?;
+            nl.add_output(name.clone(), s);
+        }
+        Ok(nl)
+    }
+}
+
+/// `.names` definitions: target → (fanin names, cover rows of
+/// (input pattern, output char)).
+type Defs = HashMap<String, (Vec<String>, Vec<(String, char)>)>;
+
+fn resolve(
+    name: &str,
+    defs: &Defs,
+    signals: &mut HashMap<String, SignalId>,
+    nl: &mut Netlist,
+    in_progress: &mut Vec<String>,
+) -> Result<SignalId, ParseBlifError> {
+    if let Some(&s) = signals.get(name) {
+        return Ok(s);
+    }
+    if in_progress.iter().any(|n| n == name) {
+        return Err(ParseBlifError::new(format!("combinational cycle through {name:?}")));
+    }
+    let (fanins, rows) = defs
+        .get(name)
+        .ok_or_else(|| ParseBlifError::new(format!("signal {name:?} is never driven")))?;
+    in_progress.push(name.to_owned());
+    let fanin_signals: Vec<SignalId> = fanins
+        .iter()
+        .map(|f| resolve(f, defs, signals, nl, in_progress))
+        .collect::<Result<_, _>>()?;
+    in_progress.pop();
+
+    // Build the single-output cover as a sum of products.
+    let mut on_terms: Vec<SignalId> = Vec::new();
+    let mut off_rows = false;
+    let mut on_rows = false;
+    for (pattern, out_char) in rows {
+        match out_char {
+            '1' => on_rows = true,
+            '0' => off_rows = true,
+            other => {
+                return Err(ParseBlifError::new(format!(
+                    "unsupported cover output {other:?}"
+                )));
+            }
+        }
+    let _ = pattern;
+    }
+    if on_rows && off_rows {
+        return Err(ParseBlifError::new(
+            "covers mixing on-set and off-set rows are not supported",
+        ));
+    }
+    let complemented = off_rows;
+    for (pattern, _) in rows {
+        let mut term: Option<SignalId> = None;
+        for (k, c) in pattern.chars().enumerate() {
+            let lit = match c {
+                '1' => fanin_signals[k],
+                '0' => nl.add_not(fanin_signals[k]),
+                '-' => continue,
+                other => {
+                    return Err(ParseBlifError::new(format!(
+                        "unsupported cover character {other:?}"
+                    )));
+                }
+            };
+            term = Some(match term {
+                None => lit,
+                Some(t) => nl.add_gate(Gate2::And, t, lit),
+            });
+        }
+        let term = term.unwrap_or_else(|| nl.constant(true));
+        on_terms.push(term);
+    }
+    let mut result = match on_terms.len() {
+        0 => nl.constant(false),
+        _ => {
+            let mut acc = on_terms[0];
+            for &t in &on_terms[1..] {
+                acc = nl.add_gate(Gate2::Or, acc, t);
+            }
+            acc
+        }
+    };
+    if complemented {
+        result = nl.add_not(result);
+    }
+    signals.insert(name.to_owned(), result);
+    Ok(result)
+}
+
+/// Error produced when parsing a BLIF file.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseBlifError {
+    message: String,
+}
+
+impl ParseBlifError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseBlifError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseBlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blif parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseBlifError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_netlist() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let nb = nl.add_not(b);
+        let anb = nl.add_gate(Gate2::And, a, nb);
+        let f = nl.add_gate(Gate2::Xor, anb, c);
+        let g = nl.add_gate(Gate2::Nor, a, c);
+        nl.add_output("f", f);
+        nl.add_output("g", g);
+        nl
+    }
+
+    #[test]
+    fn blif_roundtrip_preserves_semantics() {
+        let nl = sample_netlist();
+        let text = nl.to_blif("sample");
+        let back = Netlist::from_blif(&text).expect("parse back");
+        assert_eq!(back.inputs().len(), 3);
+        assert_eq!(back.outputs().len(), 2);
+        for bits in 0..8u32 {
+            let vals = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            assert_eq!(nl.eval_all(&vals), back.eval_all(&vals), "at {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn writer_emits_expected_structure() {
+        let nl = sample_netlist();
+        let text = nl.to_blif("sample");
+        assert!(text.starts_with(".model sample\n"));
+        assert!(text.contains(".inputs a b c"));
+        assert!(text.contains(".outputs f g"));
+        assert!(text.contains("10 1\n01 1\n"), "xor cover present");
+        assert!(text.contains("00 1\n"), "nor cover present");
+        assert!(text.ends_with(".end\n"));
+    }
+
+    #[test]
+    fn reader_handles_general_covers() {
+        let text = "\
+.model m
+.inputs x y z
+.outputs o
+.names x y z o
+11- 1
+--1 1
+.end
+";
+        let nl = Netlist::from_blif(text).expect("valid");
+        for bits in 0..8u32 {
+            let vals = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            let expected = (vals[0] && vals[1]) || vals[2];
+            assert_eq!(nl.eval_all(&vals), vec![expected]);
+        }
+    }
+
+    #[test]
+    fn reader_handles_offset_covers_and_constants() {
+        let text = "\
+.model m
+.inputs x y
+.outputs o k
+.names x y o
+11 0
+.names k
+1
+.end
+";
+        let nl = Netlist::from_blif(text).expect("valid");
+        assert_eq!(nl.eval_all(&[true, true]), vec![false, true]);
+        assert_eq!(nl.eval_all(&[true, false]), vec![true, true]);
+    }
+
+    #[test]
+    fn reader_rejects_cycles_and_undriven() {
+        let cyclic = ".model m\n.inputs a\n.outputs o\n.names o a o\n11 1\n.end\n";
+        let err = Netlist::from_blif(cyclic).unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+
+        let undriven = ".model m\n.inputs a\n.outputs o\n.end\n";
+        let err = Netlist::from_blif(undriven).unwrap_err();
+        assert!(err.to_string().contains("never driven"));
+
+        let latch = ".model m\n.inputs a\n.outputs o\n.latch a o re clk 0\n.end\n";
+        let err = Netlist::from_blif(latch).unwrap_err();
+        assert!(err.to_string().contains("not supported"));
+    }
+
+    #[test]
+    fn continuation_lines_are_joined() {
+        let text = ".model m\n.inputs a \\\nb\n.outputs o\n.names a b o\n11 1\n.end\n";
+        let nl = Netlist::from_blif(text).expect("valid");
+        assert_eq!(nl.inputs().len(), 2);
+    }
+
+    #[test]
+    fn output_driven_directly_by_input() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        nl.add_output("o", a);
+        let text = nl.to_blif("wire");
+        let back = Netlist::from_blif(&text).expect("valid");
+        assert_eq!(back.eval_all(&[true]), vec![true]);
+        assert_eq!(back.eval_all(&[false]), vec![false]);
+    }
+}

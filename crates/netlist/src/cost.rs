@@ -1,0 +1,204 @@
+//! The paper's area/delay cost model and netlist statistics.
+
+use crate::graph::{Gate, Gate2, Netlist};
+
+/// Area and delay figures per gate type.
+///
+/// Defaults follow §8 of the paper: "the ratio of area and delay of EXOR
+/// and NOR is assumed to be 5/2 and 2.1/1.0 respectively". Inverters are
+/// free (the paper counts only two-input gates; inverter polarity is
+/// assumed absorbed into NAND/NOR-style cells).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CostModel {
+    /// Area of AND/OR/NAND/NOR gates.
+    pub simple_area: f64,
+    /// Area of XOR/XNOR gates.
+    pub exor_area: f64,
+    /// Area of an inverter.
+    pub not_area: f64,
+    /// Delay through AND/OR/NAND/NOR gates.
+    pub simple_delay: f64,
+    /// Delay through XOR/XNOR gates.
+    pub exor_delay: f64,
+    /// Delay through an inverter.
+    pub not_delay: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            simple_area: 2.0,
+            exor_area: 5.0,
+            not_area: 0.0,
+            simple_delay: 1.0,
+            exor_delay: 2.1,
+            not_delay: 0.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Area of one two-input gate of type `op`.
+    pub fn gate_area(&self, op: Gate2) -> f64 {
+        if op.is_exor() {
+            self.exor_area
+        } else {
+            self.simple_area
+        }
+    }
+
+    /// Delay through one two-input gate of type `op`.
+    pub fn gate_delay(&self, op: Gate2) -> f64 {
+        if op.is_exor() {
+            self.exor_delay
+        } else {
+            self.simple_delay
+        }
+    }
+}
+
+/// Summary statistics of a netlist — the columns of the paper's Table 2.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct NetlistStats {
+    /// Number of primary inputs ("ins").
+    pub inputs: usize,
+    /// Number of primary outputs ("outs").
+    pub outputs: usize,
+    /// Number of live two-input gates ("gates").
+    pub gates: usize,
+    /// Number of live EXOR-family gates ("exors").
+    pub exors: usize,
+    /// Number of live inverters (not counted in `gates`).
+    pub inverters: usize,
+    /// Number of logic levels counting two-input gates ("cascades").
+    pub cascades: usize,
+    /// Total area under the cost model ("area").
+    pub area: f64,
+    /// Critical-path delay under the cost model ("delay").
+    pub delay: f64,
+}
+
+impl Netlist {
+    /// Statistics under the default (paper) cost model.
+    pub fn stats(&self) -> NetlistStats {
+        self.stats_with(&CostModel::default())
+    }
+
+    /// Statistics under a custom cost model. Only logic reachable from the
+    /// outputs is counted.
+    pub fn stats_with(&self, model: &CostModel) -> NetlistStats {
+        let live = self.live_signals();
+        let mut stats = NetlistStats {
+            inputs: self.inputs().len(),
+            outputs: self.outputs().len(),
+            ..Default::default()
+        };
+        // Per-signal (levels, delay) accumulated in topological order.
+        let mut level = vec![0usize; self.nodes().len()];
+        let mut arrival = vec![0f64; self.nodes().len()];
+        for &s in &live {
+            match *self.gate(s) {
+                Gate::Input(_) | Gate::Const(_) => {}
+                Gate::Not(a) => {
+                    stats.inverters += 1;
+                    stats.area += model.not_area;
+                    level[s as usize] = level[a as usize];
+                    arrival[s as usize] = arrival[a as usize] + model.not_delay;
+                }
+                Gate::Binary(op, a, b) => {
+                    stats.gates += 1;
+                    if op.is_exor() {
+                        stats.exors += 1;
+                    }
+                    stats.area += model.gate_area(op);
+                    level[s as usize] = 1 + level[a as usize].max(level[b as usize]);
+                    arrival[s as usize] =
+                        model.gate_delay(op) + arrival[a as usize].max(arrival[b as usize]);
+                }
+            }
+        }
+        for &(_, s) in self.outputs() {
+            stats.cascades = stats.cascades.max(level[s as usize]);
+            stats.delay = stats.delay.max(arrival[s as usize]);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Gate2;
+
+    #[test]
+    fn default_model_matches_paper_ratios() {
+        let m = CostModel::default();
+        assert_eq!(m.gate_area(Gate2::Xor) / m.gate_area(Gate2::Nor), 5.0 / 2.0);
+        assert_eq!(m.gate_delay(Gate2::Xor) / m.gate_delay(Gate2::Nor), 2.1);
+        assert_eq!(m.gate_area(Gate2::And), m.gate_area(Gate2::Nand));
+    }
+
+    #[test]
+    fn stats_count_live_logic_only() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let ab = nl.add_gate(Gate2::And, a, b);
+        let f = nl.add_gate(Gate2::Xor, ab, c);
+        let _dead = nl.add_gate(Gate2::Or, a, c);
+        nl.add_output("f", f);
+        let s = nl.stats();
+        assert_eq!(s.inputs, 3);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.gates, 2, "dead OR gate not counted");
+        assert_eq!(s.exors, 1);
+        assert_eq!(s.cascades, 2);
+        assert_eq!(s.area, 2.0 + 5.0);
+        assert!((s.delay - (1.0 + 2.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverters_are_free_by_default_but_configurable() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let na = nl.add_not(a);
+        let f = nl.add_gate(Gate2::And, na, b);
+        nl.add_output("f", f);
+        let s = nl.stats();
+        assert_eq!(s.inverters, 1);
+        assert_eq!(s.gates, 1);
+        assert_eq!(s.area, 2.0);
+        assert_eq!(s.cascades, 1, "inverters do not add levels");
+        let custom = CostModel { not_area: 1.0, not_delay: 0.5, ..CostModel::default() };
+        let s2 = nl.stats_with(&custom);
+        assert_eq!(s2.area, 3.0);
+        assert!((s2.delay - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_takes_worst_path() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_input("d");
+        let x1 = nl.add_gate(Gate2::Xor, a, b); // 2.1
+        let x2 = nl.add_gate(Gate2::Xor, x1, c); // 4.2
+        let cheap = nl.add_gate(Gate2::And, c, d); // 1.0
+        nl.add_output("slow", x2);
+        nl.add_output("fast", cheap);
+        let s = nl.stats();
+        assert!((s.delay - 4.2).abs() < 1e-12);
+        assert_eq!(s.cascades, 2);
+    }
+
+    #[test]
+    fn empty_netlist_stats() {
+        let nl = Netlist::new();
+        let s = nl.stats();
+        assert_eq!(s.gates, 0);
+        assert_eq!(s.delay, 0.0);
+    }
+}

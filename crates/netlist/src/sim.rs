@@ -1,0 +1,163 @@
+//! Bit-parallel simulation: 64 input patterns per pass.
+
+use crate::graph::{Gate, Netlist};
+
+impl Netlist {
+    /// Simulates 64 input patterns at once.
+    ///
+    /// `patterns[k]` packs the value of input `k` (declaration order)
+    /// across the 64 patterns, one per bit. Returns one packed word per
+    /// primary output, in output declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns.len()` differs from the number of inputs.
+    pub fn simulate(&self, patterns: &[u64]) -> Vec<u64> {
+        let values = self.simulate_all(patterns);
+        self.outputs().iter().map(|&(_, s)| values[s as usize]).collect()
+    }
+
+    /// Like [`simulate`](Netlist::simulate) but returns the packed value of
+    /// *every* signal (indexable by [`crate::SignalId`]) — used by the
+    /// fault simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns.len()` differs from the number of inputs.
+    pub fn simulate_all(&self, patterns: &[u64]) -> Vec<u64> {
+        assert_eq!(
+            patterns.len(),
+            self.inputs().len(),
+            "need one pattern word per primary input"
+        );
+        let mut values = vec![0u64; self.nodes().len()];
+        let mut next_input = 0;
+        for (idx, gate) in self.nodes().iter().enumerate() {
+            values[idx] = match *gate {
+                Gate::Input(_) => {
+                    let w = patterns[next_input];
+                    next_input += 1;
+                    w
+                }
+                Gate::Const(v) => {
+                    if v {
+                        u64::MAX
+                    } else {
+                        0
+                    }
+                }
+                Gate::Not(a) => !values[a as usize],
+                Gate::Binary(op, a, b) => op.eval_words(values[a as usize], values[b as usize]),
+            };
+        }
+        values
+    }
+
+    /// Evaluates the named output on a single assignment
+    /// (`assignment[k]` = value of input `k`). Returns `None` if no output
+    /// has that name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len()` differs from the number of inputs.
+    pub fn eval_single(&self, output: &str, assignment: &[bool]) -> Option<bool> {
+        let patterns: Vec<u64> =
+            assignment.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        let (pos, _) = self
+            .outputs()
+            .iter()
+            .enumerate()
+            .find(|(_, (name, _))| name == output)?;
+        Some(self.simulate(&patterns)[pos] & 1 != 0)
+    }
+
+    /// Evaluates all outputs on a single assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len()` differs from the number of inputs.
+    pub fn eval_all(&self, assignment: &[bool]) -> Vec<bool> {
+        let patterns: Vec<u64> =
+            assignment.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        self.simulate(&patterns).iter().map(|&w| w & 1 != 0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::{Gate2, Netlist};
+
+    fn full_adder() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let cin = nl.add_input("cin");
+        let axb = nl.add_gate(Gate2::Xor, a, b);
+        let sum = nl.add_gate(Gate2::Xor, axb, cin);
+        let ab = nl.add_gate(Gate2::And, a, b);
+        let t = nl.add_gate(Gate2::And, axb, cin);
+        let cout = nl.add_gate(Gate2::Or, ab, t);
+        nl.add_output("sum", sum);
+        nl.add_output("cout", cout);
+        nl
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let nl = full_adder();
+        for bits in 0..8u32 {
+            let a = bits & 1 != 0;
+            let b = bits & 2 != 0;
+            let c = bits & 4 != 0;
+            let total = a as u32 + b as u32 + c as u32;
+            assert_eq!(nl.eval_single("sum", &[a, b, c]), Some(total % 2 == 1));
+            assert_eq!(nl.eval_single("cout", &[a, b, c]), Some(total >= 2));
+            assert_eq!(
+                nl.eval_all(&[a, b, c]),
+                vec![total % 2 == 1, total >= 2]
+            );
+        }
+        assert_eq!(nl.eval_single("nope", &[false, false, false]), None);
+    }
+
+    #[test]
+    fn parallel_simulation_matches_scalar() {
+        let nl = full_adder();
+        // Pack all 8 assignments into one simulation call.
+        let mut patterns = vec![0u64; 3];
+        for bits in 0..8u64 {
+            for (k, word) in patterns.iter_mut().enumerate() {
+                if bits & (1 << k) != 0 {
+                    *word |= 1 << bits;
+                }
+            }
+        }
+        let words = nl.simulate(&patterns);
+        for bits in 0..8u64 {
+            let a = bits & 1 != 0;
+            let b = bits & 2 != 0;
+            let c = bits & 4 != 0;
+            let total = a as u32 + b as u32 + c as u32;
+            assert_eq!(words[0] >> bits & 1 != 0, total % 2 == 1, "sum at {bits}");
+            assert_eq!(words[1] >> bits & 1 != 0, total >= 2, "cout at {bits}");
+        }
+    }
+
+    #[test]
+    fn constants_simulate_correctly() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let one = nl.constant(true);
+        let f = nl.add_gate(Gate2::Xor, a, one); // folds to ¬a
+        nl.add_output("f", f);
+        assert_eq!(nl.eval_single("f", &[true]), Some(false));
+        assert_eq!(nl.eval_single("f", &[false]), Some(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "one pattern word per primary input")]
+    fn wrong_pattern_arity_panics() {
+        let nl = full_adder();
+        let _ = nl.simulate(&[0, 0]);
+    }
+}

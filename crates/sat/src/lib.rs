@@ -1,0 +1,45 @@
+//! A compact SAT solver and netlist miters — the second, independent
+//! verification engine of the workspace.
+//!
+//! The paper verifies its results with a BDD-based checker (§8); a
+//! production flow wants a *structurally different* second opinion. This
+//! crate provides one:
+//!
+//! * [`Cnf`]/[`Lit`] — clause databases in the usual DIMACS spirit;
+//! * [`solve`] — a DPLL solver with two-watched-literal propagation and
+//!   an occurrence-based branching heuristic (sized for circuit miters,
+//!   not industrial instances);
+//! * [`tseitin`] — CNF encodings of [`netlist::Netlist`]s and
+//!   [`miter`](tseitin::miter)-based equivalence checking: two circuits
+//!   are equivalent iff their XOR-of-outputs miter is UNSAT, and a SAT
+//!   answer is a concrete counterexample assignment.
+//!
+//! ```
+//! use netlist::{Netlist, Gate2};
+//!
+//! let mut a = Netlist::new();
+//! let (x, y) = (a.add_input("x"), a.add_input("y"));
+//! let g = a.add_gate(Gate2::And, x, y);
+//! a.add_output("f", g);
+//!
+//! let mut b = Netlist::new();
+//! let (x, y) = (b.add_input("x"), b.add_input("y"));
+//! let nx = b.add_not(x);
+//! let ny = b.add_not(y);
+//! let nor = b.add_gate(Gate2::Or, nx, ny);
+//! let f = b.add_not(nor);
+//! b.add_output("f", f);
+//!
+//! // De Morgan: the two netlists are equivalent.
+//! assert_eq!(sat::tseitin::check_equivalence(&a, &b), None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cnf;
+mod solver;
+pub mod tseitin;
+
+pub use cnf::{Cnf, Lit, Var};
+pub use solver::{solve, Verdict};

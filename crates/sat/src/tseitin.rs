@@ -1,0 +1,282 @@
+//! Tseitin encoding of gate netlists and miter-based equivalence.
+
+use netlist::{Gate, Gate2, Netlist};
+
+use crate::cnf::{Cnf, Lit, Var};
+use crate::solver::{solve, Verdict};
+
+/// CNF variables of an encoded netlist.
+#[derive(Clone, Debug)]
+pub struct Encoded {
+    /// CNF variable per primary input, in declaration order.
+    pub inputs: Vec<Var>,
+    /// CNF variable per primary output, in declaration order.
+    pub outputs: Vec<Var>,
+}
+
+/// Encodes the (live part of the) netlist into `cnf`, adding one variable
+/// per signal. The encoding is consistent: any input assignment extends
+/// uniquely to a model.
+///
+/// With `share_inputs`, input `k` (declaration order) reuses the given
+/// variable instead of a fresh one — the mechanism behind
+/// [`miter`]-building.
+///
+/// # Panics
+///
+/// Panics if `share_inputs` is provided with the wrong length.
+pub fn encode(nl: &Netlist, cnf: &mut Cnf, share_inputs: Option<&[Var]>) -> Encoded {
+    if let Some(shared) = share_inputs {
+        assert_eq!(shared.len(), nl.inputs().len(), "one shared variable per input");
+    }
+    let mut var_of = vec![None::<Var>; nl.nodes().len()];
+    // Inputs first, in declaration order, so sharing lines up even when
+    // some inputs are dead.
+    let inputs: Vec<Var> = nl
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(k, &s)| {
+            let v = match share_inputs {
+                Some(shared) => shared[k],
+                None => cnf.fresh_var(),
+            };
+            var_of[s as usize] = Some(v);
+            v
+        })
+        .collect();
+    // Constants get dedicated frozen variables on demand.
+    let mut const_var = [None::<Var>; 2];
+    for &s in &nl.live_signals() {
+        if var_of[s as usize].is_some() {
+            continue; // inputs already handled
+        }
+        let v = match *nl.gate(s) {
+            Gate::Input(_) => unreachable!("inputs were pre-assigned"),
+            Gate::Const(value) => *const_var[usize::from(value)].get_or_insert_with(|| {
+                let v = cnf.fresh_var();
+                cnf.add_unit(Lit::new(v, value));
+                v
+            }),
+            Gate::Not(a) => {
+                let av = var_of[a as usize].expect("fanin precedes fanout");
+                let v = cnf.fresh_var();
+                // v ≡ ¬a.
+                cnf.add_clause([Lit::pos(v), Lit::pos(av)]);
+                cnf.add_clause([Lit::neg(v), Lit::neg(av)]);
+                v
+            }
+            Gate::Binary(op, a, b) => {
+                let av = var_of[a as usize].expect("fanin precedes fanout");
+                let bv = var_of[b as usize].expect("fanin precedes fanout");
+                let v = cnf.fresh_var();
+                encode_gate(cnf, op, v, av, bv);
+                v
+            }
+        };
+        var_of[s as usize] = Some(v);
+    }
+    let outputs = nl
+        .outputs()
+        .iter()
+        .map(|&(_, s)| var_of[s as usize].expect("outputs are live by definition"))
+        .collect();
+    Encoded { inputs, outputs }
+}
+
+fn encode_gate(cnf: &mut Cnf, op: Gate2, v: Var, a: Var, b: Var) {
+    let (pa, pb, pv) = (Lit::pos(a), Lit::pos(b), Lit::pos(v));
+    match op {
+        Gate2::And | Gate2::Nand => {
+            let out = if op == Gate2::And { pv } else { !pv };
+            // out ≡ a ∧ b.
+            cnf.add_clause([!out, pa]);
+            cnf.add_clause([!out, pb]);
+            cnf.add_clause([out, !pa, !pb]);
+        }
+        Gate2::Or | Gate2::Nor => {
+            let out = if op == Gate2::Or { pv } else { !pv };
+            // out ≡ a ∨ b.
+            cnf.add_clause([out, !pa]);
+            cnf.add_clause([out, !pb]);
+            cnf.add_clause([!out, pa, pb]);
+        }
+        Gate2::Xor | Gate2::Xnor => {
+            let out = if op == Gate2::Xor { pv } else { !pv };
+            // out ≡ a ⊕ b.
+            cnf.add_clause([!out, pa, pb]);
+            cnf.add_clause([!out, !pa, !pb]);
+            cnf.add_clause([out, pa, !pb]);
+            cnf.add_clause([out, !pa, pb]);
+        }
+    }
+}
+
+/// Builds the miter of two netlists with identical interfaces: shared
+/// inputs, per-output XORs, and the assertion "some output differs".
+/// SAT ⟺ the netlists are inequivalent.
+///
+/// # Panics
+///
+/// Panics if the netlists differ in input or output count.
+pub fn miter(a: &Netlist, b: &Netlist) -> (Cnf, Vec<Var>) {
+    assert_eq!(a.inputs().len(), b.inputs().len(), "miter needs equal input counts");
+    assert_eq!(a.outputs().len(), b.outputs().len(), "miter needs equal output counts");
+    let mut cnf = Cnf::new();
+    let shared: Vec<Var> = (0..a.inputs().len()).map(|_| cnf.fresh_var()).collect();
+    let ea = encode(a, &mut cnf, Some(&shared));
+    let eb = encode(b, &mut cnf, Some(&shared));
+    // d_k ≡ out_a[k] ⊕ out_b[k]; assert d_0 ∨ d_1 ∨ …
+    let mut diffs = Vec::with_capacity(ea.outputs.len());
+    for (&oa, &ob) in ea.outputs.iter().zip(&eb.outputs) {
+        let d = cnf.fresh_var();
+        encode_gate(&mut cnf, Gate2::Xor, d, oa, ob);
+        diffs.push(Lit::pos(d));
+    }
+    cnf.add_clause(diffs);
+    (cnf, shared)
+}
+
+/// Checks equivalence of two netlists with identical interfaces.
+///
+/// Returns `None` if equivalent, or `Some(counterexample)` — an input
+/// assignment on which they differ.
+///
+/// # Panics
+///
+/// As [`miter`].
+pub fn check_equivalence(a: &Netlist, b: &Netlist) -> Option<Vec<bool>> {
+    let (cnf, inputs) = miter(a, b);
+    match solve(&cnf) {
+        Verdict::Unsat => None,
+        Verdict::Sat(model) => {
+            Some(inputs.iter().map(|&v| model[v as usize]).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adder() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let ab = nl.add_gate(Gate2::Xor, a, b);
+        let sum = nl.add_gate(Gate2::Xor, ab, c);
+        let g1 = nl.add_gate(Gate2::And, a, b);
+        let g2 = nl.add_gate(Gate2::And, ab, c);
+        let cout = nl.add_gate(Gate2::Or, g1, g2);
+        nl.add_output("sum", sum);
+        nl.add_output("cout", cout);
+        nl
+    }
+
+    fn adder_nand_style() -> Netlist {
+        // Same functions, different structure (majority via NAND/NOR mix).
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let axb = nl.add_gate(Gate2::Xnor, a, b); // ¬(a ⊕ b)
+        let naxb = nl.add_not(axb); // a ⊕ b
+        // XNOR(¬t, c) = t ⊕ c — the sum, through complemented gates.
+        let sum = nl.add_gate(Gate2::Xnor, axb, c);
+        let ab = nl.add_gate(Gate2::Nand, a, b);
+        let t = nl.add_gate(Gate2::Nand, naxb, c);
+        // NAND(¬x, ¬y) = x + y.
+        let cout = nl.add_gate(Gate2::Nand, ab, t);
+        nl.add_output("sum", sum);
+        nl.add_output("cout", cout);
+        nl
+    }
+
+    #[test]
+    fn encoding_matches_simulation() {
+        let nl = adder();
+        let mut base = Cnf::new();
+        let enc = encode(&nl, &mut base, None);
+        // Force each input pattern with unit clauses and solve.
+        for m in 0..8u32 {
+            let mut cnf = base.clone();
+            for (k, &v) in enc.inputs.iter().enumerate() {
+                cnf.add_unit(Lit::new(v, m & (1 << k) != 0));
+            }
+            match solve(&cnf) {
+                Verdict::Sat(model) => {
+                    let vals: Vec<bool> = (0..3).map(|k| m & (1 << k) != 0).collect();
+                    let expected = nl.eval_all(&vals);
+                    for (out, &ov) in enc.outputs.iter().enumerate() {
+                        assert_eq!(model[ov as usize], expected[out], "m={m:03b} out={out}");
+                    }
+                }
+                Verdict::Unsat => panic!("gate consistency must be satisfiable"),
+            }
+        }
+    }
+
+    #[test]
+    fn structurally_different_equivalent_netlists() {
+        assert_eq!(check_equivalence(&adder(), &adder_nand_style()), None);
+    }
+
+    #[test]
+    fn inequivalent_netlists_give_a_real_counterexample() {
+        let good = adder();
+        let bad = adder();
+        // Rewire: replace the cout output with sum (grab existing signals).
+        let sum_sig = bad.outputs()[0].1;
+        let outs: Vec<(String, netlist::SignalId)> = bad.outputs().to_vec();
+        let mut rebuilt = Netlist::new();
+        let mut map = std::collections::HashMap::new();
+        for (idx, gate) in bad.nodes().iter().enumerate() {
+            let new = match gate {
+                Gate::Input(n) => rebuilt.add_input(n.clone()),
+                Gate::Const(v) => rebuilt.constant(*v),
+                Gate::Not(a) => {
+                    let fa = map[a];
+                    rebuilt.add_not(fa)
+                }
+                Gate::Binary(op, a, b) => {
+                    let (fa, fb) = (map[a], map[b]);
+                    rebuilt.add_gate(*op, fa, fb)
+                }
+            };
+            map.insert(idx as netlist::SignalId, new);
+        }
+        rebuilt.add_output(outs[0].0.clone(), map[&sum_sig]);
+        rebuilt.add_output(outs[1].0.clone(), map[&sum_sig]); // wrong!
+        let cex = check_equivalence(&good, &rebuilt).expect("must differ");
+        let g = good.eval_all(&cex);
+        let r = rebuilt.eval_all(&cex);
+        assert_ne!(g, r, "counterexample must actually distinguish them");
+    }
+
+    #[test]
+    fn constants_encode_correctly() {
+        let mut a = Netlist::new();
+        let x = a.add_input("x");
+        let one = a.constant(true);
+        let f = a.add_gate(Gate2::And, x, one); // folds to x
+        a.add_output("f", f);
+        let mut b = Netlist::new();
+        let x = b.add_input("x");
+        b.add_output("f", x);
+        assert_eq!(check_equivalence(&a, &b), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal input counts")]
+    fn interface_mismatch_panics() {
+        let mut a = Netlist::new();
+        let x = a.add_input("x");
+        a.add_output("f", x);
+        let mut b = Netlist::new();
+        let x = b.add_input("x");
+        let _y = b.add_input("y");
+        b.add_output("f", x);
+        let _ = check_equivalence(&a, &b);
+    }
+}

@@ -1,0 +1,36 @@
+//! Three decomposition philosophies on the same arithmetic function:
+//! two-level covering (SIS-like), weak-only BDD splitting (BDS-like), and
+//! strong bi-decomposition (BI-DECOMP).
+//!
+//! Run with: `cargo run --release --example compare_baselines`
+
+use baseline::{bds_like, sis_like};
+use bidecomp::{decompose_pla, Options};
+
+fn main() {
+    for name in ["rd84", "5xp1", "t481"] {
+        let b = benchmarks::by_name(name).expect("known benchmark");
+        let sis = sis_like(&b.pla).stats();
+        let bds = bds_like(&b.pla).stats();
+        let outcome = decompose_pla(&b.pla, &Options::default());
+        assert!(outcome.verified);
+        let bi = outcome.netlist.stats();
+        println!("{name} ({} in / {} out)", bi.inputs, bi.outputs);
+        println!(
+            "  SIS-like   : {:>5} gates ({:>3} exor), {:>3} levels, area {:>7.0}",
+            sis.gates, sis.exors, sis.cascades, sis.area
+        );
+        println!(
+            "  BDS-like   : {:>5} gates ({:>3} exor), {:>3} levels, area {:>7.0}",
+            bds.gates, bds.exors, bds.cascades, bds.area
+        );
+        println!(
+            "  BI-DECOMP  : {:>5} gates ({:>3} exor), {:>3} levels, area {:>7.0}",
+            bi.gates, bi.exors, bi.cascades, bi.area
+        );
+        println!();
+    }
+    println!("Strong bi-decomposition finds the EXOR structure (arithmetic)");
+    println!("and balanced variable splits (short delay) that the weak-only");
+    println!("and two-level flows miss — the paper's §8 conclusion.");
+}

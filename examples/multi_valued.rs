@@ -1,0 +1,53 @@
+//! The paper's closing future-work item, §9: "generalization of the
+//! algorithm for multi-valued logic with potential applications in
+//! datamining". Decomposes multi-valued interval specifications into
+//! MIN/MAX/unary networks.
+//!
+//! Run with: `cargo run --example multi_valued`
+
+use mv::{decompose_with_options, MvIsf, MvOptions, MvTable};
+
+fn main() {
+    // A ternary "grade combiner": overall = max(min(q1, q2), bonus),
+    // where q1, q2 are ternary quality scores and bonus ∈ {0, 1, 2}.
+    let f = MvTable::from_fn(&[3, 3, 3], 3, |p| (p[0].min(p[1])).max(p[2]));
+    let isf = MvIsf::from_table(&f);
+    let (nl, root, stats) = decompose_with_options(&isf, &MvOptions::default());
+    println!("grade combiner: max(min(q1, q2), bonus) over ternary values");
+    println!(
+        "  {} MIN/MAX gates, {} unary literals; calls: {}, min/max splits: {}/{}",
+        nl.min_max_gates(),
+        nl.unary_count(),
+        stats.calls,
+        stats.strong_min,
+        stats.strong_max
+    );
+    for p in [[0usize, 2, 1], [2, 2, 0], [1, 0, 0]] {
+        println!("  f{p:?} = {}", nl.eval(root, &p));
+    }
+
+    // The MV parity analogue resists MIN/MAX splitting and falls back to
+    // the multi-valued Shannon expansion.
+    let g = MvTable::from_fn(&[3, 3], 3, |p| (p[0] + p[1]) % 3);
+    let gisf = MvIsf::from_table(&g);
+    let (gnl, groot, gstats) = decompose_with_options(&gisf, &MvOptions::default());
+    println!("\nmodular sum (x0 + x1) mod 3:");
+    println!(
+        "  {} MIN/MAX gates, {} unary literals, {} Shannon expansions",
+        gnl.min_max_gates(),
+        gnl.unary_count(),
+        gstats.shannon
+    );
+    assert_eq!(gnl.eval(groot, &[2, 2]), 1);
+
+    // Intervals (the data-mining use case): only a handful of training
+    // points are pinned; everything else is free — the network collapses.
+    let lo = MvTable::from_fn(&[3, 3, 3], 3, |p| if p == [2, 2, 2] { 2 } else { 0 });
+    let hi = MvTable::from_fn(&[3, 3, 3], 3, |p| if p == [0, 0, 0] { 0 } else { 2 });
+    let sparse = MvIsf::new(lo, hi);
+    let (snl, sroot, _) = decompose_with_options(&sparse, &MvOptions::default());
+    println!("\nsparse training data (2 pinned points of 27):");
+    println!("  {} MIN/MAX gates suffice", snl.min_max_gates());
+    assert_eq!(snl.eval(sroot, &[2, 2, 2]), 2);
+    assert_eq!(snl.eval(sroot, &[0, 0, 0]), 0);
+}

@@ -1,0 +1,43 @@
+//! Theorem 5 demonstration: netlists produced by bi-decomposition are
+//! 100% single-stuck-at testable; complete ATPG emits a compact test set.
+//!
+//! Run with: `cargo run --release --example testability`
+
+use bidecomp::{decompose_pla, Options};
+
+fn main() {
+    println!("Theorem 5: complete stuck-at testability of decomposed netlists\n");
+    println!(
+        "{:8} {:>6} {:>7} {:>9} {:>6} {:>9}",
+        "name", "gates", "faults", "redundant", "tests", "coverage"
+    );
+    for name in ["rd73", "5xp1", "9sym"] {
+        let b = benchmarks::by_name(name).expect("known benchmark");
+        let outcome = decompose_pla(&b.pla, &Options::default());
+        assert!(outcome.verified);
+        let report = atpg::generate_tests(&outcome.netlist);
+        println!(
+            "{:8} {:>6} {:>7} {:>9} {:>6} {:>8.1}%",
+            name,
+            outcome.netlist.stats().gates,
+            report.total_faults,
+            report.redundant,
+            report.tests.len(),
+            100.0 * report.coverage()
+        );
+    }
+    println!("\nEvery collapsed fault is detected; no redundant logic is");
+    println!("generated (paper §5, Theorem 5). Compare with a sabotaged");
+    println!("netlist containing an absorbed term:");
+    let mut nl = netlist::Netlist::new();
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let ab = nl.add_gate(netlist::Gate2::And, a, b);
+    let f = nl.add_gate(netlist::Gate2::Or, a, ab);
+    nl.add_output("f", f);
+    let report = atpg::generate_tests(&nl);
+    println!(
+        "  a + a·b: {} faults, {} redundant → {:?}",
+        report.total_faults, report.redundant, report.redundant_faults
+    );
+}

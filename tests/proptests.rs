@@ -1,0 +1,162 @@
+//! Workspace-level property tests: random multi-output incompletely
+//! specified PLAs driven through every system, with the independent
+//! truth-table referee from `boolfn`.
+
+use baseline::{bds_like, sis_like};
+use bidecomp::{decompose_pla, Options};
+use boolfn::TruthTable;
+use pla::{Cube, OutputValue, Pla, PlaType, Trit};
+use proptest::prelude::*;
+
+const MAX_VARS: usize = 6;
+
+/// A random multi-output ISF described by per-output (function, care) seed
+/// pairs plus a PLA type.
+#[derive(Debug, Clone)]
+struct RandomSpec {
+    num_vars: usize,
+    outputs: Vec<(u64, u64)>,
+    fr_type: bool,
+}
+
+fn spec_strategy() -> impl Strategy<Value = RandomSpec> {
+    (
+        3usize..=MAX_VARS,
+        proptest::collection::vec((any::<u64>(), any::<u64>()), 1..=3),
+        any::<bool>(),
+    )
+        .prop_map(|(num_vars, outputs, fr_type)| RandomSpec { num_vars, outputs, fr_type })
+}
+
+struct Materialized {
+    pla: Pla,
+    qs: Vec<TruthTable>,
+    rs: Vec<TruthTable>,
+}
+
+fn materialize(spec: &RandomSpec) -> Materialized {
+    let n = spec.num_vars;
+    let mut qs = Vec::new();
+    let mut rs = Vec::new();
+    for &(fseed, cseed) in &spec.outputs {
+        let f = TruthTable::random(n, 0.5, fseed);
+        let care = if spec.fr_type {
+            TruthTable::random(n, 0.7, cseed)
+        } else {
+            TruthTable::ones(n)
+        };
+        qs.push(f.and(&care));
+        rs.push(f.complement().and(&care));
+    }
+    let ty = if spec.fr_type { PlaType::Fr } else { PlaType::Fd };
+    let mut pla = Pla::new(n, spec.outputs.len()).with_type(ty);
+    for m in 0..1u32 << n {
+        let mut outs = vec![OutputValue::NotUsed; spec.outputs.len()];
+        let mut any = false;
+        for (k, (q, r)) in qs.iter().zip(&rs).enumerate() {
+            if q.get(m) {
+                outs[k] = OutputValue::One;
+                any = true;
+            } else if spec.fr_type && r.get(m) {
+                outs[k] = OutputValue::Zero;
+                any = true;
+            }
+        }
+        if !any {
+            continue;
+        }
+        let inputs: Vec<Trit> = (0..n)
+            .map(|k| if m & (1 << k) != 0 { Trit::One } else { Trit::Zero })
+            .collect();
+        pla.push(Cube::new(inputs, outs));
+    }
+    Materialized { pla, qs, rs }
+}
+
+/// Asserts a netlist respects the on-/off-sets of every output.
+fn assert_in_interval(name: &str, nl: &netlist::Netlist, m: &Materialized) {
+    let n = m.pla.num_inputs();
+    for minterm in 0..1u64 << n {
+        let vals: Vec<bool> = (0..n).map(|k| minterm & (1 << k) != 0).collect();
+        let got = nl.eval_all(&vals);
+        for (k, (q, r)) in m.qs.iter().zip(&m.rs).enumerate() {
+            if q.get(minterm as u32) {
+                assert!(got[k], "{name}: out {k} must be 1 at {minterm:b}");
+            }
+            if r.get(minterm as u32) {
+                assert!(!got[k], "{name}: out {k} must be 0 at {minterm:b}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bidecomp_respects_random_intervals(spec in spec_strategy()) {
+        let m = materialize(&spec);
+        let outcome = decompose_pla(&m.pla, &Options::default());
+        prop_assert!(outcome.verified);
+        assert_in_interval("bidecomp", &outcome.netlist, &m);
+    }
+
+    #[test]
+    fn baselines_respect_random_intervals(spec in spec_strategy()) {
+        let m = materialize(&spec);
+        assert_in_interval("sis_like", &sis_like(&m.pla), &m);
+        assert_in_interval("bds_like", &bds_like(&m.pla), &m);
+    }
+
+    #[test]
+    fn blif_roundtrip_on_random_netlists(spec in spec_strategy()) {
+        let m = materialize(&spec);
+        let outcome = decompose_pla(&m.pla, &Options::default());
+        let text = outcome.netlist.to_blif("random");
+        let back = netlist::Netlist::from_blif(&text).expect("roundtrip");
+        let n = m.pla.num_inputs();
+        for minterm in 0..1u64 << n {
+            let vals: Vec<bool> = (0..n).map(|k| minterm & (1 << k) != 0).collect();
+            prop_assert_eq!(outcome.netlist.eval_all(&vals), back.eval_all(&vals));
+        }
+    }
+
+    #[test]
+    fn inverter_folding_preserves_random_netlists(spec in spec_strategy()) {
+        let m = materialize(&spec);
+        let outcome = decompose_pla(&m.pla, &Options::default());
+        let folded = outcome.netlist.fold_inverters();
+        let n = m.pla.num_inputs();
+        for minterm in 0..1u64 << n {
+            let vals: Vec<bool> = (0..n).map(|k| minterm & (1 << k) != 0).collect();
+            prop_assert_eq!(outcome.netlist.eval_all(&vals), folded.eval_all(&vals));
+        }
+        // Only input inverters (which have no gate to fold into) may remain.
+        for &s in &folded.live_signals() {
+            if let netlist::Gate::Not(a) = folded.gate(s) {
+                prop_assert!(
+                    matches!(folded.gate(*a), netlist::Gate::Input(_)),
+                    "all internal inverters must fold into complement gates"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pla_text_roundtrip_random(spec in spec_strategy()) {
+        let m = materialize(&spec);
+        let text = m.pla.to_string();
+        let back: Pla = text.parse().expect("own output must parse");
+        prop_assert_eq!(&m.pla, &back);
+    }
+
+    #[test]
+    fn decomposed_netlists_are_fully_testable(spec in spec_strategy()) {
+        // Theorem 5 as a property over random ISFs (the strongest end-to-
+        // end invariant in the paper).
+        let m = materialize(&spec);
+        let outcome = decompose_pla(&m.pla, &Options::default());
+        let report = atpg::generate_tests(&outcome.netlist);
+        prop_assert_eq!(report.redundant, 0, "redundant: {:?}", report.redundant_faults);
+    }
+}
