@@ -160,10 +160,9 @@ mod tests {
         let faults = collapse(&nl, &enumerate_faults(&nl));
         // AND pin s-a-0 collapses into the stem; pin s-a-1 stays.
         assert_eq!(faults.len(), 8);
-        assert!(faults.iter().all(|f| !matches!(
-            (f.site, f.stuck_at),
-            (FaultSite::Pin { .. }, false)
-        )));
+        assert!(faults
+            .iter()
+            .all(|f| !matches!((f.site, f.stuck_at), (FaultSite::Pin { .. }, false))));
     }
 
     #[test]

@@ -50,11 +50,7 @@ impl TestReport {
 /// # Panics
 ///
 /// Panics if a test's length differs from the netlist's input count.
-pub fn compact_tests(
-    nl: &Netlist,
-    faults: &[Fault],
-    tests: &[Vec<bool>],
-) -> Vec<Vec<bool>> {
+pub fn compact_tests(nl: &Netlist, faults: &[Fault], tests: &[Vec<bool>]) -> Vec<Vec<bool>> {
     let num_inputs = nl.inputs().len();
     let word = |test: &Vec<bool>| -> Vec<u64> {
         assert_eq!(test.len(), num_inputs, "test arity mismatch");
@@ -90,11 +86,7 @@ pub fn compact_tests(
             needed[i] = true;
         }
     }
-    tests
-        .iter()
-        .zip(&needed)
-        .filter(|&(_t, &k)| k).map(|(t, &_k)| t.clone())
-        .collect()
+    tests.iter().zip(&needed).filter(|&(_t, &k)| k).map(|(t, &_k)| t.clone()).collect()
 }
 
 /// Classic redundancy removal: while complete ATPG proves some fault
@@ -351,8 +343,7 @@ mod tests {
             if count == 0 {
                 continue;
             }
-            let ins: String =
-                (0..7).map(|k| if m & (1 << k) != 0 { '1' } else { '0' }).collect();
+            let ins: String = (0..7).map(|k| if m & (1 << k) != 0 { '1' } else { '0' }).collect();
             let outs: String =
                 (0..3).map(|b| if count & (1 << b) != 0 { '1' } else { '-' }).collect();
             p.push_str(&ins, &outs);

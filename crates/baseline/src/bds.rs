@@ -24,20 +24,14 @@ pub fn bds_like(pla: &Pla) -> Netlist {
     let mut nl = Netlist::new();
     let inputs: Vec<SignalId> = (0..n)
         .map(|k| {
-            let name = pla
-                .input_labels()
-                .map(|l| l[k].clone())
-                .unwrap_or_else(|| format!("x{k}"));
+            let name = pla.input_labels().map(|l| l[k].clone()).unwrap_or_else(|| format!("x{k}"));
             nl.add_input(name)
         })
         .collect();
     let mut memo: HashMap<Func, SignalId> = HashMap::new();
     for out in 0..pla.num_outputs() {
         let f = output_bdd(&mut mgr, pla, out);
-        let name = pla
-            .output_labels()
-            .map(|l| l[out].clone())
-            .unwrap_or_else(|| format!("y{out}"));
+        let name = pla.output_labels().map(|l| l[out].clone()).unwrap_or_else(|| format!("y{out}"));
         let signal = map_node(&mut mgr, &mut nl, &inputs, f, &mut memo);
         nl.add_output(name, signal);
     }

@@ -37,17 +37,12 @@ pub fn sis_like_with(pla: &Pla, style: MappingStyle) -> Netlist {
     let mut nl = Netlist::new();
     let inputs: Vec<SignalId> = (0..n)
         .map(|k| {
-            let name = pla
-                .input_labels()
-                .map(|l| l[k].clone())
-                .unwrap_or_else(|| format!("x{k}"));
+            let name = pla.input_labels().map(|l| l[k].clone()).unwrap_or_else(|| format!("x{k}"));
             nl.add_input(name)
         })
         .collect();
     let output_names: Vec<String> = (0..pla.num_outputs())
-        .map(|k| {
-            pla.output_labels().map(|l| l[k].clone()).unwrap_or_else(|| format!("y{k}"))
-        })
+        .map(|k| pla.output_labels().map(|l| l[k].clone()).unwrap_or_else(|| format!("y{k}")))
         .collect();
 
     for (out, output_name) in output_names.iter().enumerate() {

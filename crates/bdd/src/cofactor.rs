@@ -201,7 +201,7 @@ mod tests {
         let z = mgr.var(2);
         let yz = mgr.xor(y, z);
         let f = mgr.or(x, yz); // f = x + (y ⊕ z)
-        // Shannon: f = x·f1 + ¬x·f0.
+                               // Shannon: f = x·f1 + ¬x·f0.
         let f1 = mgr.cofactor(f, 0, true);
         let f0 = mgr.cofactor(f, 0, false);
         assert!(f1.is_one());

@@ -111,13 +111,11 @@ mod tests {
             let reduced: Vec<IsopCube> = cubes
                 .iter()
                 .enumerate()
-                .filter_map(|(i, c)| (i != skip).then(|| c.clone()))
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, c)| c.clone())
                 .collect();
             let g = mgr.cover_function(&reduced);
-            assert!(
-                !mgr.implies(lower, g),
-                "cube {skip} is redundant in {cubes:?}"
-            );
+            assert!(!mgr.implies(lower, g), "cube {skip} is redundant in {cubes:?}");
         }
         cubes.len()
     }
@@ -184,8 +182,7 @@ mod tests {
             let mut f = Func::ZERO;
             let mut g = Func::ZERO;
             for _ in 0..6 {
-                state =
-                    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 let v1 = ((state >> 33) % 5) as u32;
                 let v2 = ((state >> 43) % 5) as u32;
                 let x = mgr.literal(v1, state & 1 != 0);

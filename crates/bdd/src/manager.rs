@@ -2,6 +2,10 @@
 //! collection.
 
 use std::fmt;
+use std::time::{Duration, Instant};
+
+use obs::json::Json;
+use obs::Recorder;
 
 use crate::hash::FxHashMap;
 use crate::varset::MAX_VARS;
@@ -98,6 +102,10 @@ pub(crate) struct CacheKey {
 }
 
 /// Operation counters of a manager (see [`Bdd::op_stats`]).
+///
+/// Everything here resets with [`Bdd::reset_op_stats`] — including the GC
+/// counters, which makes per-phase deltas easy. The manager's *lifetime*
+/// GC count stays available through [`Bdd::gc_runs`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct OpStats {
     /// `mk` invocations (node constructions requested).
@@ -108,6 +116,14 @@ pub struct OpStats {
     pub cache_lookups: u64,
     /// Computed-cache hits.
     pub cache_hits: u64,
+    /// Recursive `apply` steps across the binary operators.
+    pub apply_steps: u64,
+    /// Garbage collections run.
+    pub gc_runs: u64,
+    /// Nodes reclaimed by those collections.
+    pub gc_nodes_reclaimed: u64,
+    /// Wall-clock time spent collecting.
+    pub gc_time: Duration,
 }
 
 impl OpStats {
@@ -118,6 +134,45 @@ impl OpStats {
         } else {
             self.cache_hits as f64 / self.cache_lookups as f64
         }
+    }
+}
+
+/// A point-in-time view of the manager's tables (see
+/// [`Bdd::telemetry_snapshot`]).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ManagerSnapshot {
+    /// Live nodes (allocated minus freed), including the two terminals.
+    pub total_nodes: usize,
+    /// Freed slots awaiting reuse.
+    pub free_nodes: usize,
+    /// Entries in the unique table.
+    pub unique_entries: usize,
+    /// Unique-table load factor (entries over allocated capacity).
+    pub unique_load_factor: f64,
+    /// Entries in the computed cache.
+    pub cache_entries: usize,
+    /// Operation counters at snapshot time.
+    pub op_stats: OpStats,
+}
+
+impl ManagerSnapshot {
+    /// The snapshot as a JSON object (the shape embedded in run reports).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("total_nodes", self.total_nodes)
+            .field("free_nodes", self.free_nodes)
+            .field("unique_entries", self.unique_entries)
+            .field("unique_load_factor", self.unique_load_factor)
+            .field("cache_entries", self.cache_entries)
+            .field("mk_calls", self.op_stats.mk_calls)
+            .field("unique_hits", self.op_stats.unique_hits)
+            .field("apply_steps", self.op_stats.apply_steps)
+            .field("cache_lookups", self.op_stats.cache_lookups)
+            .field("cache_hits", self.op_stats.cache_hits)
+            .field("cache_hit_rate", self.op_stats.cache_hit_rate())
+            .field("gc_runs", self.op_stats.gc_runs)
+            .field("gc_nodes_reclaimed", self.op_stats.gc_nodes_reclaimed)
+            .field("gc_time_s", self.op_stats.gc_time.as_secs_f64())
     }
 }
 
@@ -142,6 +197,7 @@ pub struct Bdd {
     free: Vec<u32>,
     gc_runs: usize,
     op_stats: OpStats,
+    recorder: Option<Recorder>,
 }
 
 impl Bdd {
@@ -163,6 +219,7 @@ impl Bdd {
             free: Vec::new(),
             gc_runs: 0,
             op_stats: OpStats::default(),
+            recorder: None,
         };
         // Slots 0 and 1 are the terminals.
         mgr.nodes.push(Node { var: TERMINAL_VAR, low: Func::ZERO, high: Func::ZERO });
@@ -371,6 +428,9 @@ impl Bdd {
     /// invalid; the computed cache is cleared. Never call while holding
     /// unprotected intermediates you still need.
     pub fn gc(&mut self) -> usize {
+        let start = Instant::now();
+        let nodes_before = self.total_nodes();
+        let cache_entries = self.cache.len();
         self.gc_runs += 1;
         let mut marked = vec![false; self.nodes.len()];
         marked[0] = true;
@@ -398,6 +458,23 @@ impl Bdd {
             }
         }
         self.cache.clear();
+        let elapsed = start.elapsed();
+        self.op_stats.gc_runs += 1;
+        self.op_stats.gc_nodes_reclaimed += freed as u64;
+        self.op_stats.gc_time += elapsed;
+        if let Some(rec) = &self.recorder {
+            rec.count("bdd.gc.runs", 1);
+            rec.count("bdd.gc.nodes_reclaimed", freed as u64);
+            rec.point(
+                "bdd.gc",
+                Json::obj()
+                    .field("nodes_before", nodes_before)
+                    .field("nodes_after", nodes_before - freed)
+                    .field("freed", freed)
+                    .field("cache_entries_dropped", cache_entries)
+                    .field("elapsed_s", elapsed.as_secs_f64()),
+            );
+        }
         freed
     }
 
@@ -416,6 +493,11 @@ impl Bdd {
         debug_assert_eq!(var2level.len(), level2var.len());
         self.var2level = var2level;
         self.level2var = level2var;
+    }
+
+    #[inline]
+    pub(crate) fn note_apply_step(&mut self) {
+        self.op_stats.apply_steps += 1;
     }
 
     #[inline]
@@ -439,9 +521,75 @@ impl Bdd {
         self.op_stats
     }
 
-    /// Resets the operation counters.
+    /// Resets the operation counters (the lifetime [`gc_runs`](Bdd::gc_runs)
+    /// count is not affected).
     pub fn reset_op_stats(&mut self) {
         self.op_stats = OpStats::default();
+    }
+
+    /// Attaches a telemetry recorder; GC events stream to it and
+    /// [`emit_gauges`](Bdd::emit_gauges) publishes table gauges. Pass `None`
+    /// to detach. Without a recorder the manager emits nothing.
+    pub fn set_recorder(&mut self, recorder: Option<Recorder>) {
+        self.recorder = recorder;
+    }
+
+    /// The attached telemetry recorder, if any.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Adopts the instrumentation state of `old` after a rebuild: the
+    /// attached recorder and the accumulated operation/GC counters survive
+    /// [`reorder`](Bdd::reorder) even though the node store does not.
+    pub(crate) fn carry_instrumentation_from(&mut self, old: &Bdd) {
+        self.recorder = old.recorder.clone();
+        self.gc_runs += old.gc_runs;
+        let fresh = std::mem::take(&mut self.op_stats);
+        self.op_stats = old.op_stats;
+        self.op_stats.mk_calls += fresh.mk_calls;
+        self.op_stats.unique_hits += fresh.unique_hits;
+        self.op_stats.apply_steps += fresh.apply_steps;
+        self.op_stats.cache_lookups += fresh.cache_lookups;
+        self.op_stats.cache_hits += fresh.cache_hits;
+        self.op_stats.gc_runs += fresh.gc_runs;
+        self.op_stats.gc_nodes_reclaimed += fresh.gc_nodes_reclaimed;
+        self.op_stats.gc_time += fresh.gc_time;
+    }
+
+    /// Unique-table load factor: entries over allocated capacity, in
+    /// `[0, 1]` (0 when nothing has been allocated yet).
+    pub fn unique_load_factor(&self) -> f64 {
+        if self.unique.capacity() == 0 {
+            0.0
+        } else {
+            self.unique.len() as f64 / self.unique.capacity() as f64
+        }
+    }
+
+    /// A point-in-time view of the manager's tables and counters.
+    pub fn telemetry_snapshot(&self) -> ManagerSnapshot {
+        ManagerSnapshot {
+            total_nodes: self.total_nodes(),
+            free_nodes: self.free.len(),
+            unique_entries: self.unique.len(),
+            unique_load_factor: self.unique_load_factor(),
+            cache_entries: self.cache.len(),
+            op_stats: self.op_stats,
+        }
+    }
+
+    /// Publishes the snapshot as gauges on the attached recorder (no-op
+    /// without one).
+    pub fn emit_gauges(&self) {
+        let Some(rec) = &self.recorder else { return };
+        let snap = self.telemetry_snapshot();
+        rec.gauge("bdd.total_nodes", snap.total_nodes as f64);
+        rec.gauge("bdd.free_nodes", snap.free_nodes as f64);
+        rec.gauge("bdd.unique.entries", snap.unique_entries as f64);
+        rec.gauge("bdd.unique.load_factor", snap.unique_load_factor);
+        rec.gauge("bdd.cache.entries", snap.cache_entries as f64);
+        rec.gauge("bdd.cache.hit_rate", snap.op_stats.cache_hit_rate());
     }
 }
 
@@ -563,6 +711,7 @@ mod tests {
         let f = mgr.and(a, b);
         let stats = mgr.op_stats();
         assert!(stats.mk_calls >= 3, "two vars and one AND node");
+        assert!(stats.apply_steps >= 1, "the AND recursed at least once");
         // Repeating the same operation hits the computed cache.
         let lookups_before = mgr.op_stats().cache_lookups;
         let g = mgr.and(a, b);
@@ -574,6 +723,93 @@ mod tests {
         mgr.reset_op_stats();
         assert_eq!(mgr.op_stats(), OpStats::default());
         assert_eq!(OpStats::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn gc_counters_accumulate_and_reset_independently_of_lifetime_count() {
+        let mut mgr = Bdd::new(4);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let keep = mgr.and(a, b);
+        let c = mgr.var(2);
+        let d = mgr.var(3);
+        let _scratch = mgr.or(c, d);
+        mgr.protect(keep);
+        let freed = mgr.gc();
+        assert!(freed > 0);
+        let stats = mgr.op_stats();
+        assert_eq!(stats.gc_runs, 1);
+        assert_eq!(stats.gc_nodes_reclaimed, freed as u64);
+        assert_eq!(mgr.gc_runs(), 1);
+        // reset_op_stats clears the per-phase GC counters…
+        mgr.reset_op_stats();
+        let stats = mgr.op_stats();
+        assert_eq!(stats.gc_runs, 0);
+        assert_eq!(stats.gc_nodes_reclaimed, 0);
+        assert_eq!(stats.gc_time, Duration::ZERO);
+        // …but the lifetime count survives, and the next GC starts a fresh
+        // delta.
+        assert_eq!(mgr.gc_runs(), 1);
+        mgr.gc();
+        assert_eq!(mgr.op_stats().gc_runs, 1);
+        assert_eq!(mgr.gc_runs(), 2);
+        mgr.unprotect(keep);
+    }
+
+    #[test]
+    fn gc_streams_events_to_the_recorder() {
+        let mut mgr = Bdd::new(4);
+        let rec = Recorder::new();
+        let sink = obs::MemorySink::new();
+        rec.add_sink(Box::new(sink.clone()));
+        mgr.set_recorder(Some(rec.clone()));
+        assert!(mgr.recorder().is_some());
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let keep = mgr.and(a, b);
+        let c = mgr.var(2);
+        let d = mgr.var(3);
+        let _scratch = mgr.or(c, d);
+        mgr.protect(keep);
+        let freed = mgr.gc();
+        assert_eq!(rec.counter("bdd.gc.runs"), 1);
+        assert_eq!(rec.counter("bdd.gc.nodes_reclaimed"), freed as u64);
+        let point = sink
+            .events()
+            .into_iter()
+            .find_map(|e| match e {
+                obs::Event::Point { name, fields } if name == "bdd.gc" => Some(fields),
+                _ => None,
+            })
+            .expect("a bdd.gc point event");
+        let before = point.get("nodes_before").and_then(Json::as_f64).unwrap();
+        let after = point.get("nodes_after").and_then(Json::as_f64).unwrap();
+        assert_eq!(before - after, freed as f64);
+        mgr.unprotect(keep);
+    }
+
+    #[test]
+    fn snapshot_and_gauges_reflect_tables() {
+        let mut mgr = Bdd::new(3);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let _f = mgr.and(a, b);
+        let snap = mgr.telemetry_snapshot();
+        assert_eq!(snap.total_nodes, mgr.total_nodes());
+        assert_eq!(snap.free_nodes, 0);
+        assert!(snap.unique_entries >= 3);
+        assert!(snap.unique_load_factor > 0.0 && snap.unique_load_factor <= 1.0);
+        assert!(snap.cache_entries >= 1);
+        let json = snap.to_json();
+        assert_eq!(json.get("total_nodes").and_then(Json::as_f64), Some(mgr.total_nodes() as f64));
+        // Gauges publish the same values.
+        let rec = Recorder::new();
+        mgr.set_recorder(Some(rec.clone()));
+        mgr.emit_gauges();
+        assert_eq!(rec.gauge_value("bdd.total_nodes"), Some(mgr.total_nodes() as f64));
+        assert_eq!(rec.gauge_value("bdd.unique.load_factor"), Some(mgr.unique_load_factor()));
+        // Fresh managers report a zero load factor, not NaN.
+        assert_eq!(Bdd::new(1).unique_load_factor(), 0.0);
     }
 
     #[test]

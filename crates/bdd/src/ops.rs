@@ -173,6 +173,7 @@ impl Bdd {
     }
 
     fn apply_prim(&mut self, op: CacheOp, f: Func, g: Func) -> Func {
+        self.note_apply_step();
         if let Some(t) = Self::apply_terminal(op, f, g) {
             return t;
         }

@@ -43,6 +43,7 @@ impl Bdd {
         let mut memo: FxHashMap<u32, Func> = HashMap::default();
         let new_roots: Vec<Func> =
             roots.iter().map(|&r| transfer(self, &mut fresh, r, &mut memo)).collect();
+        fresh.carry_instrumentation_from(self);
         *self = fresh;
         new_roots
     }
@@ -159,6 +160,32 @@ mod tests {
     use super::*;
 
     #[test]
+    fn reorder_keeps_recorder_and_counters() {
+        let mut mgr = Bdd::new(3);
+        let rec = obs::Recorder::new();
+        mgr.set_recorder(Some(rec.clone()));
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = mgr.and(a, b);
+        let mk_before = mgr.op_stats().mk_calls;
+        assert!(mk_before > 0);
+        mgr.protect(f);
+        let _ = mgr.gc();
+        mgr.unprotect(f);
+        assert_eq!(mgr.gc_runs(), 1);
+        let new = mgr.reorder(&[2, 1, 0], &[f]);
+        // The recorder, the lifetime GC count and the op counters all
+        // survive the rebuild (the rebuild's own mk calls add on top).
+        assert!(mgr.recorder().is_some());
+        assert_eq!(mgr.gc_runs(), 1);
+        assert_eq!(mgr.op_stats().gc_runs, 1);
+        assert!(mgr.op_stats().mk_calls >= mk_before);
+        mgr.emit_gauges();
+        assert!(rec.gauge_value("bdd.total_nodes").is_some());
+        assert!(mgr.eval(new[0], &[true, true, false]));
+    }
+
+    #[test]
     fn reorder_preserves_semantics() {
         let mut mgr = Bdd::new(4);
         let a = mgr.var(0);
@@ -171,8 +198,7 @@ mod tests {
         let g = mgr.xor(a, d);
         let new = mgr.reorder(&[3, 1, 2, 0], &[f, g]);
         for bits in 0..16u32 {
-            let vals =
-                [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0];
+            let vals = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0];
             let expect_f = (vals[0] && vals[1]) || (vals[2] && vals[3]);
             let expect_g = vals[0] ^ vals[3];
             assert_eq!(mgr.eval(new[0], &vals), expect_f);
@@ -204,10 +230,7 @@ mod tests {
         }
         let new = mgr.reorder(&order, &[f]);
         let good = mgr.node_count(new[0]);
-        assert!(
-            good < bad,
-            "interleaved ({good}) must beat separated ({bad})"
-        );
+        assert!(good < bad, "interleaved ({good}) must beat separated ({bad})");
     }
 
     #[test]

@@ -78,11 +78,8 @@ impl Bdd {
         // Build the cube bottom-up (literals were collected top-down).
         let mut cube = Func::ONE;
         for (v, positive) in lits.into_iter().rev() {
-            cube = if positive {
-                self.mk(v, Func::ZERO, cube)
-            } else {
-                self.mk(v, cube, Func::ZERO)
-            };
+            cube =
+                if positive { self.mk(v, Func::ZERO, cube) } else { self.mk(v, cube, Func::ZERO) };
         }
         Some(cube)
     }

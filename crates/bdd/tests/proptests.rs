@@ -1,10 +1,17 @@
 //! Property-based tests: random expression trees are built both as BDDs and
 //! as dense truth tables; every operator and structural query must agree.
+//!
+//! The random cases are driven by a seeded splitmix64 stream (the workspace
+//! carries no external property-testing dependency), so every run explores
+//! exactly the same expressions — a failure reproduces from its seed alone.
 
 use bdd::{Bdd, Func, VarSet};
-use proptest::prelude::*;
+use benchmarks::SplitMix64;
 
 const NUM_VARS: usize = 6;
+
+/// Seeded random cases per property (mirrors the old proptest case count).
+const CASES: u64 = 64;
 
 /// A random Boolean expression over `NUM_VARS` variables.
 #[derive(Debug, Clone)]
@@ -17,21 +24,30 @@ enum Expr {
     Xor(Box<Expr>, Box<Expr>),
 }
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0u32..NUM_VARS as u32).prop_map(Expr::Var),
-        any::<bool>().prop_map(Expr::Const),
-    ];
-    leaf.prop_recursive(5, 64, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-        ]
-    })
+/// Draws a random expression tree of depth ≤ `depth`, biased toward
+/// internal nodes so the trees exercise sharing and reduction.
+fn random_expr(rng: &mut SplitMix64, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.2) {
+        return if rng.gen_bool(0.15) {
+            Expr::Const(rng.gen_bool(0.5))
+        } else {
+            Expr::Var(rng.gen_range(NUM_VARS) as u32)
+        };
+    }
+    match rng.gen_range(4) {
+        0 => Expr::Not(Box::new(random_expr(rng, depth - 1))),
+        1 => {
+            Expr::And(Box::new(random_expr(rng, depth - 1)), Box::new(random_expr(rng, depth - 1)))
+        }
+        2 => Expr::Or(Box::new(random_expr(rng, depth - 1)), Box::new(random_expr(rng, depth - 1))),
+        _ => {
+            Expr::Xor(Box::new(random_expr(rng, depth - 1)), Box::new(random_expr(rng, depth - 1)))
+        }
+    }
+}
+
+fn expr_for_seed(seed: u64) -> Expr {
+    random_expr(&mut SplitMix64::new(seed), 5)
 }
 
 fn build(mgr: &mut Bdd, e: &Expr) -> Func {
@@ -75,38 +91,49 @@ fn assignments() -> impl Iterator<Item = Vec<bool>> {
     (0..1u32 << NUM_VARS).map(|bits| (0..NUM_VARS).map(|k| bits & (1 << k) != 0).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn bdd_matches_expression_semantics(e in expr_strategy()) {
+#[test]
+fn bdd_matches_expression_semantics() {
+    for seed in 0..CASES {
+        let e = expr_for_seed(seed);
         let mut mgr = Bdd::new(NUM_VARS);
         let f = build(&mut mgr, &e);
         for vals in assignments() {
-            prop_assert_eq!(mgr.eval(f, &vals), eval_expr(&e, &vals));
+            assert_eq!(mgr.eval(f, &vals), eval_expr(&e, &vals), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn canonicity_equal_semantics_equal_handles(a in expr_strategy(), b in expr_strategy()) {
+#[test]
+fn canonicity_equal_semantics_equal_handles() {
+    for seed in 0..CASES {
+        let a = expr_for_seed(2 * seed);
+        let b = expr_for_seed(2 * seed + 1);
         let mut mgr = Bdd::new(NUM_VARS);
         let fa = build(&mut mgr, &a);
         let fb = build(&mut mgr, &b);
         let semantically_equal =
             assignments().all(|vals| eval_expr(&a, &vals) == eval_expr(&b, &vals));
-        prop_assert_eq!(fa == fb, semantically_equal);
+        assert_eq!(fa == fb, semantically_equal, "seed {seed}");
     }
+}
 
-    #[test]
-    fn sat_count_matches_enumeration(e in expr_strategy()) {
+#[test]
+fn sat_count_matches_enumeration() {
+    for seed in 0..CASES {
+        let e = expr_for_seed(seed);
         let mut mgr = Bdd::new(NUM_VARS);
         let f = build(&mut mgr, &e);
         let expected = assignments().filter(|vals| eval_expr(&e, vals)).count();
-        prop_assert_eq!(mgr.sat_count(f) as usize, expected);
+        assert_eq!(mgr.sat_count(f) as usize, expected, "seed {seed}");
     }
+}
 
-    #[test]
-    fn quantifiers_match_enumeration(e in expr_strategy(), mask in 0u32..(1 << NUM_VARS)) {
+#[test]
+fn quantifiers_match_enumeration() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let e = random_expr(&mut rng, 5);
+        let mask = rng.gen_range(1 << NUM_VARS) as u32;
         let mut mgr = Bdd::new(NUM_VARS);
         let f = build(&mut mgr, &e);
         let vars: VarSet = (0..NUM_VARS as u32).filter(|v| mask & (1 << v) != 0).collect();
@@ -126,14 +153,19 @@ proptest! {
                 any |= r;
                 every &= r;
             }
-            prop_assert_eq!(mgr.eval(ex, &vals), any);
-            prop_assert_eq!(mgr.eval(all, &vals), every);
+            assert_eq!(mgr.eval(ex, &vals), any, "seed {seed}");
+            assert_eq!(mgr.eval(all, &vals), every, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn and_exists_matches_sequential(a in expr_strategy(), b in expr_strategy(),
-                                     mask in 0u32..(1 << NUM_VARS)) {
+#[test]
+fn and_exists_matches_sequential() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let a = random_expr(&mut rng, 5);
+        let b = random_expr(&mut rng, 5);
+        let mask = rng.gen_range(1 << NUM_VARS) as u32;
         let mut mgr = Bdd::new(NUM_VARS);
         let fa = build(&mut mgr, &a);
         let fb = build(&mut mgr, &b);
@@ -142,98 +174,120 @@ proptest! {
         let fused = mgr.and_exists(fa, fb, cube);
         let conj = mgr.and(fa, fb);
         let seq = mgr.exists(conj, cube);
-        prop_assert_eq!(fused, seq);
+        assert_eq!(fused, seq, "seed {seed}");
     }
+}
 
-    #[test]
-    fn restrict_agrees_on_care(f in expr_strategy(), care in expr_strategy()) {
+#[test]
+fn restrict_agrees_on_care() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_expr(&mut rng, 5);
+        let care = random_expr(&mut rng, 5);
         let mut mgr = Bdd::new(NUM_VARS);
         let ff = build(&mut mgr, &f);
         let cc = build(&mut mgr, &care);
         let g = mgr.restrict(ff, cc);
         let lhs = mgr.and(g, cc);
         let rhs = mgr.and(ff, cc);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs, "seed {seed}");
     }
+}
 
-    #[test]
-    fn support_is_semantic_dependence(e in expr_strategy()) {
+#[test]
+fn support_is_semantic_dependence() {
+    for seed in 0..CASES {
+        let e = expr_for_seed(seed);
         let mut mgr = Bdd::new(NUM_VARS);
         let f = build(&mut mgr, &e);
         let support = mgr.support(f);
         for v in 0..NUM_VARS as u32 {
             let c0 = mgr.cofactor(f, v, false);
             let c1 = mgr.cofactor(f, v, true);
-            prop_assert_eq!(support.contains(v), c0 != c1);
+            assert_eq!(support.contains(v), c0 != c1, "seed {seed}, x{v}");
         }
     }
+}
 
-    #[test]
-    fn pick_cube_lies_inside_f(e in expr_strategy()) {
+#[test]
+fn pick_cube_lies_inside_f() {
+    for seed in 0..CASES {
+        let e = expr_for_seed(seed);
         let mut mgr = Bdd::new(NUM_VARS);
         let f = build(&mut mgr, &e);
         match mgr.pick_cube(f) {
-            None => prop_assert!(f.is_zero()),
+            None => assert!(f.is_zero(), "seed {seed}"),
             Some(cube) => {
-                prop_assert!(mgr.is_cube(cube));
-                prop_assert!(mgr.implies(cube, f));
+                assert!(mgr.is_cube(cube), "seed {seed}");
+                assert!(mgr.implies(cube, f), "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn reorder_preserves_semantics_random_order(e in expr_strategy(), seed in any::<u64>()) {
+#[test]
+fn reorder_preserves_semantics_random_order() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let e = random_expr(&mut rng, 5);
         let mut mgr = Bdd::new(NUM_VARS);
         let f = build(&mut mgr, &e);
-        // Derive a permutation from the seed (Fisher–Yates with an LCG).
+        // A random permutation by Fisher–Yates over the same stream.
         let mut order: Vec<u32> = (0..NUM_VARS as u32).collect();
-        let mut state = seed | 1;
         for i in (1..order.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let j = (state >> 33) as usize % (i + 1);
+            let j = rng.gen_range(i + 1);
             order.swap(i, j);
         }
         let roots = mgr.reorder(&order, &[f]);
         for vals in assignments() {
-            prop_assert_eq!(mgr.eval(roots[0], &vals), eval_expr(&e, &vals));
+            assert_eq!(mgr.eval(roots[0], &vals), eval_expr(&e, &vals), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn isop_covers_are_sound_and_inside(lo in expr_strategy(), extra in expr_strategy()) {
+#[test]
+fn isop_covers_are_sound_and_inside() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let lo = random_expr(&mut rng, 5);
+        let extra = random_expr(&mut rng, 5);
         let mut mgr = Bdd::new(NUM_VARS);
         let flo_raw = build(&mut mgr, &lo);
         let fextra = build(&mut mgr, &extra);
         let fhi = mgr.or(flo_raw, fextra); // guarantees lower ≤ upper
         let (f, cubes) = mgr.isop(flo_raw, fhi);
         let built = mgr.cover_function(&cubes);
-        prop_assert_eq!(built, f);
-        prop_assert!(mgr.implies(flo_raw, f));
-        prop_assert!(mgr.implies(f, fhi));
+        assert_eq!(built, f, "seed {seed}");
+        assert!(mgr.implies(flo_raw, f), "seed {seed}");
+        assert!(mgr.implies(f, fhi), "seed {seed}");
         // Irredundancy: dropping any cube loses part of the lower bound.
         for skip in 0..cubes.len() {
             let reduced: Vec<_> = cubes
                 .iter()
                 .enumerate()
-                .filter_map(|(i, c)| (i != skip).then(|| c.clone()))
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, c)| c.clone())
                 .collect();
             let g = mgr.cover_function(&reduced);
-            prop_assert!(!mgr.implies(flo_raw, g), "cube {} redundant", skip);
+            assert!(!mgr.implies(flo_raw, g), "seed {seed}: cube {skip} redundant");
         }
     }
+}
 
-    #[test]
-    fn gc_preserves_protected_functions(e in expr_strategy()) {
+#[test]
+fn gc_preserves_protected_functions() {
+    for seed in 0..CASES {
+        let e = expr_for_seed(seed);
         let mut mgr = Bdd::new(NUM_VARS);
         let f = build(&mut mgr, &e);
         mgr.protect(f);
         mgr.gc();
         for vals in assignments() {
-            prop_assert_eq!(mgr.eval(f, &vals), eval_expr(&e, &vals));
+            assert_eq!(mgr.eval(f, &vals), eval_expr(&e, &vals), "seed {seed}");
         }
         // After GC the manager must still be fully usable.
         let g = build(&mut mgr, &e);
-        prop_assert_eq!(g, f);
+        assert_eq!(g, f, "seed {seed}");
         mgr.unprotect(f);
     }
 }

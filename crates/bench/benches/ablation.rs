@@ -3,7 +3,7 @@
 //! (§8's BDS analysis), and the static variable-ordering heuristic.
 
 use bidecomp::Options;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obs::bench::Harness;
 use std::hint::black_box;
 
 fn variants() -> Vec<(&'static str, Options)> {
@@ -16,33 +16,16 @@ fn variants() -> Vec<(&'static str, Options)> {
     ]
 }
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("ablation").samples(10).warmup(1);
     for name in ["9sym", "rd84", "alu2"] {
         let b = benchmarks::by_name(name).expect("known");
         for (variant, options) in variants() {
-            group.bench_with_input(
-                BenchmarkId::new(variant, name),
-                &(b.pla.clone(), options),
-                |bch, (pla, options)| {
-                    bch.iter(|| {
-                        let outcome = bidecomp::decompose_pla(pla, options);
-                        assert!(outcome.verified);
-                        black_box((outcome.netlist.stats().gates, outcome.stats.calls))
-                    })
-                },
-            );
+            h.bench(&format!("{variant}/{name}"), || {
+                let outcome = bidecomp::decompose_pla(&b.pla, &options);
+                assert!(outcome.verified);
+                black_box((outcome.netlist.stats().gates, outcome.stats.calls))
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_ablation
-}
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! formulas lean on (apply, quantification, derivation of component ISFs).
 
 use bdd::{Bdd, Func, VarSet};
-use criterion::{criterion_group, criterion_main, Criterion};
+use obs::bench::Harness;
 use std::hint::black_box;
 
 fn sym9_bdd(mgr: &mut Bdd) -> Func {
@@ -23,38 +23,36 @@ fn sym9_bdd(mgr: &mut Bdd) -> Func {
     f
 }
 
-fn bench_apply(c: &mut Criterion) {
-    c.bench_function("bdd/and_or_xor_sym9", |b| {
+fn main() {
+    let mut h = Harness::new("bdd").samples(20).warmup(3);
+
+    {
         let mut mgr = Bdd::new(9);
         let f = sym9_bdd(&mut mgr);
         let g = mgr.not(f);
-        b.iter(|| {
+        h.bench("and_or_xor_sym9", || {
             mgr.clear_cache();
             let x = mgr.and(black_box(f), black_box(g));
             let y = mgr.or(f, g);
             let z = mgr.xor(f, g);
             black_box((x, y, z))
-        })
-    });
-}
+        });
+    }
 
-fn bench_quantification(c: &mut Criterion) {
-    c.bench_function("bdd/exists_forall_sym9", |b| {
+    {
         let mut mgr = Bdd::new(9);
         let f = sym9_bdd(&mut mgr);
         let cube = mgr.cube(&VarSet::from_iter([0u32, 2, 4, 6]));
-        b.iter(|| {
+        h.bench("exists_forall_sym9", || {
             mgr.clear_cache();
             let e = mgr.exists(black_box(f), cube);
             let a = mgr.forall(f, cube);
             black_box((e, a))
-        })
-    });
-}
+        });
+    }
 
-fn bench_or_check(c: &mut Criterion) {
-    // The Theorem 1 check on a decomposable structure.
-    c.bench_function("bdd/theorem1_check", |b| {
+    {
+        // The Theorem 1 check on a decomposable structure.
         let mut mgr = Bdd::new(16);
         let mut f = Func::ZERO;
         for i in 0..4 {
@@ -68,22 +66,12 @@ fn bench_or_check(c: &mut Criterion) {
         let r = mgr.not(f);
         let ca = mgr.cube(&VarSet::from_iter(0u32..8));
         let cb = mgr.cube(&VarSet::from_iter(8u32..16));
-        b.iter(|| {
+        h.bench("theorem1_check", || {
             mgr.clear_cache();
             let ra = mgr.exists(black_box(r), ca);
             let rb = mgr.exists(r, cb);
             let t = mgr.and(ra, rb);
             black_box(mgr.disjoint(f, t))
-        })
-    });
+        });
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_apply, bench_quantification, bench_or_check
-}
-criterion_main!(benches);

@@ -1,30 +1,17 @@
 //! End-to-end decomposition benchmarks on representative workloads.
 
 use bidecomp::Options;
-use criterion::{criterion_group, criterion_main, Criterion};
+use obs::bench::Harness;
 use std::hint::black_box;
 
-fn bench_decompose(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decompose");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("decompose").samples(10).warmup(1);
     for name in ["9sym", "rd84", "alu2", "t481", "5xp1"] {
         let b = benchmarks::by_name(name).expect("known benchmark");
-        group.bench_function(name, |bch| {
-            bch.iter(|| {
-                let outcome = bidecomp::decompose_pla(black_box(&b.pla), &Options::default());
-                assert!(outcome.verified);
-                black_box(outcome.netlist.stats().gates)
-            })
+        h.bench(name, || {
+            let outcome = bidecomp::decompose_pla(black_box(&b.pla), &Options::default());
+            assert!(outcome.verified);
+            black_box(outcome.netlist.stats().gates)
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_decompose
-}
-criterion_main!(benches);

@@ -1,47 +1,37 @@
-//! Regenerates the measurements behind Tables 2 and 3 under Criterion
+//! Regenerates the measurements behind Tables 2 and 3 under harness
 //! timing: one benchmark id per (table, circuit, system) triple.
 
 use bidecomp::Options;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obs::bench::Harness;
 use std::hint::black_box;
 
-fn bench_table2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2");
-    group.sample_size(10);
+fn bench_table2() {
+    let mut h = Harness::new("table2").samples(10).warmup(1);
     // The quick half of the suite; the heavyweights (16sym8, cps) are
     // covered by the `table2` binary, which runs them once.
     for name in ["9sym", "alu2", "duke2", "e64", "misex3", "pdc", "spla", "vg2"] {
         let b = benchmarks::by_name(name).expect("known");
-        group.bench_with_input(BenchmarkId::new("bidecomp", name), &b.pla, |bch, pla| {
-            bch.iter(|| black_box(bidecomp::decompose_pla(pla, &Options::default()).netlist.stats().area))
+        h.bench(&format!("bidecomp/{name}"), || {
+            black_box(bidecomp::decompose_pla(&b.pla, &Options::default()).netlist.stats().area)
         });
-        group.bench_with_input(BenchmarkId::new("sis_like", name), &b.pla, |bch, pla| {
-            bch.iter(|| black_box(baseline::sis_like(pla).stats().area))
-        });
+        h.bench(&format!("sis_like/{name}"), || black_box(baseline::sis_like(&b.pla).stats().area));
     }
-    group.finish();
 }
 
-fn bench_table3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3");
-    group.sample_size(10);
+fn bench_table3() {
+    let mut h = Harness::new("table3").samples(10).warmup(1);
     for name in ["5xp1", "9sym", "alu2", "cordic", "rd84", "t481"] {
         let b = benchmarks::by_name(name).expect("known");
-        group.bench_with_input(BenchmarkId::new("bidecomp", name), &b.pla, |bch, pla| {
-            bch.iter(|| black_box(bidecomp::decompose_pla(pla, &Options::default()).netlist.stats().gates))
+        h.bench(&format!("bidecomp/{name}"), || {
+            black_box(bidecomp::decompose_pla(&b.pla, &Options::default()).netlist.stats().gates)
         });
-        group.bench_with_input(BenchmarkId::new("bds_like", name), &b.pla, |bch, pla| {
-            bch.iter(|| black_box(baseline::bds_like(pla).stats().gates))
+        h.bench(&format!("bds_like/{name}"), || {
+            black_box(baseline::bds_like(&b.pla).stats().gates)
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_table2, bench_table3
+fn main() {
+    bench_table2();
+    bench_table3();
 }
-criterion_main!(benches);

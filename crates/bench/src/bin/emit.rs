@@ -12,17 +12,13 @@ use std::path::PathBuf;
 use bidecomp::Options;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dir: PathBuf =
-        std::env::args().nth(1).unwrap_or_else(|| "artifacts".to_owned()).into();
+    let dir: PathBuf = std::env::args().nth(1).unwrap_or_else(|| "artifacts".to_owned()).into();
     fs::create_dir_all(&dir)?;
     for b in benchmarks::all() {
         let outcome = bidecomp::decompose_pla(&b.pla, &Options::default());
         assert!(outcome.verified, "{}: verification failed", b.name);
         fs::write(dir.join(format!("{}.pla", b.name)), b.pla.to_string())?;
-        fs::write(
-            dir.join(format!("{}.blif", b.name)),
-            outcome.netlist.to_blif(b.name),
-        )?;
+        fs::write(dir.join(format!("{}.blif", b.name)), outcome.netlist.to_blif(b.name))?;
         fs::write(dir.join(format!("{}.dot", b.name)), outcome.netlist.to_dot(b.name))?;
         let gates = outcome.netlist.stats().gates;
         // ATPG for the small-to-medium circuits only (exact engine).

@@ -1,0 +1,34 @@
+//! Runs the benchmark suite and writes `BENCH_bidecomp.json`: one record
+//! per benchmark with the Table 2 columns, per-phase times, BDD op/GC
+//! counters and the §7 rates.
+//!
+//! Usage: `report [OUTPUT]` (default `BENCH_bidecomp.json`).
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use bench::report::{bench_record, report_document, write_report};
+use bidecomp::Options;
+use obs::json::Json;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_bidecomp.json".to_owned());
+    let options = Options::default();
+    let mut records = Vec::new();
+    for b in benchmarks::all() {
+        let record = bench_record(b.name, &b.pla, &options);
+        let gates = record
+            .get("netlist")
+            .and_then(|n| n.get("gates"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let time = record.get("time_s").and_then(Json::as_f64).unwrap_or(0.0);
+        println!("{:8} {:>6} gates {:>8.3}s", b.name, gates as u64, time);
+        records.push(record);
+    }
+    let document = report_document(records);
+    let file = File::create(&path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    write_report(&document, BufWriter::new(file))
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+}

@@ -1,10 +1,36 @@
 //! Reproduces the §7 instrumentation claims: the rates of weak
 //! decompositions, component reuse (cache hits) and inessential variables
 //! across the benchmark suite.
+//!
+//! Usage: `stats [--trace-out FILE]` — with `--trace-out`, every
+//! benchmark's decomposition trace is streamed to `FILE` as JSONL (one
+//! `benchmark` marker point per benchmark, then one `trace` point per
+//! recursive call).
+
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
 
 use bidecomp::{Options, Stats};
+use obs::json::Json;
+use obs::report::{pct, pct2};
+use obs::{Event, JsonlSink, Sink as _};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--trace-out" => Some(path.clone()),
+        _ => {
+            eprintln!("usage: stats [--trace-out FILE]");
+            std::process::exit(2);
+        }
+    };
+    let mut trace_sink = trace_out.as_ref().map(|path| {
+        let file = File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        JsonlSink::new(BufWriter::new(file))
+    });
+    let options = Options { trace: trace_out.is_some(), ..Options::default() };
+
     println!("Per-benchmark decomposition statistics (paper §7):");
     println!(
         "{:8} {:>7} {:>9} {:>9} {:>11} {:>12}",
@@ -12,18 +38,32 @@ fn main() {
     );
     let mut merged = Stats::default();
     for b in benchmarks::all() {
-        let (_, outcome) = bench::run_bidecomp(b.name, &b.pla, &Options::default());
+        let (_, outcome) = bench::run_bidecomp(b.name, &b.pla, &options);
         let s = outcome.stats;
         println!(
-            "{:8} {:>7} {:>8.1}% {:>8.1}% {:>10.2}% {:>12}",
+            "{:8} {:>7} {:>9} {:>9} {:>11} {:>12}",
             b.name,
             s.calls,
-            100.0 * s.weak_rate(),
-            100.0 * s.cache_hit_rate(),
-            100.0 * s.inessential_rate(),
+            pct(s.weak_rate()),
+            pct(s.cache_hit_rate()),
+            pct2(s.inessential_rate()),
             s.shannon
         );
         merged.merge(&s);
+        if let Some(sink) = &mut trace_sink {
+            sink.accept(&Event::Point {
+                name: "benchmark".to_owned(),
+                fields: Json::obj().field("name", b.name),
+            });
+            for event in &outcome.trace {
+                sink.accept(&event.to_point());
+            }
+        }
+    }
+    if let Some(sink) = trace_sink {
+        let path = trace_out.expect("set together with the sink");
+        sink.into_inner().flush().unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("trace written to {path}");
     }
     println!();
     println!("Suite totals:\n{merged}");

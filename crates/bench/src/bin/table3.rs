@@ -18,5 +18,8 @@ fn main() {
         }
     }
     println!();
-    println!("BI-DECOMP matches or beats the weak-only baseline in gate count on {wins}/{} benchmarks", suite.len());
+    println!(
+        "BI-DECOMP matches or beats the weak-only baseline in gate count on {wins}/{} benchmarks",
+        suite.len()
+    );
 }

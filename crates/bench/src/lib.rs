@@ -7,11 +7,16 @@
 //!   (gates/exors/time columns).
 //! * `stats` — the §7 instrumentation (weak-decomposition rate, component
 //!   reuse rate, inessential-variable rate) over the whole suite.
+//! * `report` — the whole suite as one machine-readable JSON document
+//!   (`BENCH_bidecomp.json`, see [`report`]).
 //!
-//! The Criterion benches (`benches/`) time the same computations.
+//! The benches under `benches/` time the same computations with the
+//! dependency-free [`obs::bench`] harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod report;
 
 use std::time::Instant;
 
@@ -66,12 +71,8 @@ impl Row {
 /// Runs BI-DECOMP on a PLA and measures the Table 2 columns.
 pub fn run_bidecomp(name: &str, pla: &Pla, options: &Options) -> (Row, DecompOutcome) {
     let outcome = bidecomp::decompose_pla(pla, options);
-    let row = Row::from_netlist(
-        name,
-        &outcome.netlist,
-        outcome.elapsed.as_secs_f64(),
-        outcome.verified,
-    );
+    let row =
+        Row::from_netlist(name, &outcome.netlist, outcome.elapsed.as_secs_f64(), outcome.verified);
     (row, outcome)
 }
 

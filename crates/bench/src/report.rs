@@ -1,0 +1,131 @@
+//! Machine-readable run reports: `BENCH_bidecomp.json`.
+//!
+//! The `report` binary runs the benchmark suite and writes one JSON
+//! document with a record per benchmark — the Table 2 columns plus the
+//! telemetry the text tables do not show: per-phase wall-clock times, BDD
+//! operation and GC counters, and the §7 rates (weak decomposition,
+//! component reuse, inessential variables). The schema is versioned
+//! ([`REPORT_SCHEMA`]) and covered by a golden test so downstream tooling
+//! can diff reports across revisions.
+
+use std::io::{self, Write};
+
+use bidecomp::{DecompOutcome, Options};
+use obs::json::Json;
+use pla::Pla;
+
+/// Schema identifier stamped on every report document.
+pub const REPORT_SCHEMA: &str = "bidecomp-bench/v1";
+
+/// Runs BI-DECOMP on one benchmark (with telemetry on, so the
+/// recursion-depth histogram is populated) and builds its report record.
+pub fn bench_record(name: &str, pla: &Pla, options: &Options) -> Json {
+    let options = Options { telemetry: true, ..*options };
+    let outcome = bidecomp::decompose_pla(pla, &options);
+    record_from_outcome(name, &outcome)
+}
+
+/// Builds the report record of an already-computed outcome.
+pub fn record_from_outcome(name: &str, outcome: &DecompOutcome) -> Json {
+    let op = outcome.op_stats;
+    let d = &outcome.stats;
+    let histogram: Vec<Json> = outcome.depth_histogram.iter().map(|&n| Json::from(n)).collect();
+    Json::obj()
+        .field("name", name)
+        .field("verified", outcome.verified)
+        .field("time_s", outcome.elapsed.as_secs_f64())
+        .field("netlist", outcome.netlist.stats().to_json())
+        .field("phases", outcome.phases.to_json())
+        .field(
+            "bdd",
+            Json::obj()
+                .field("peak_nodes", outcome.bdd_nodes)
+                .field("mk_calls", op.mk_calls)
+                .field("unique_hits", op.unique_hits)
+                .field("apply_steps", op.apply_steps)
+                .field("cache_lookups", op.cache_lookups)
+                .field("cache_hits", op.cache_hits)
+                .field("cache_hit_rate", op.cache_hit_rate())
+                .field("gc_runs", op.gc_runs)
+                .field("gc_nodes_reclaimed", op.gc_nodes_reclaimed)
+                .field("gc_time_s", op.gc_time.as_secs_f64()),
+        )
+        .field(
+            "decomp",
+            Json::obj()
+                .field("calls", d.calls)
+                .field("cache_hits", d.cache_hits + d.cache_hits_complement)
+                .field("terminal_cases", d.terminal_cases)
+                .field("strong_or", d.strong_or)
+                .field("strong_and", d.strong_and)
+                .field("strong_exor", d.strong_exor)
+                .field("weak", d.weak)
+                .field("shannon", d.shannon)
+                .field("weak_rate", d.weak_rate())
+                .field("cache_hit_rate", d.cache_hit_rate())
+                .field("inessential_rate", d.inessential_rate())
+                .field("max_depth", outcome.depth_histogram.len())
+                .field("depth_histogram", histogram),
+        )
+}
+
+/// Wraps records into the versioned report document.
+pub fn report_document(records: Vec<Json>) -> Json {
+    Json::obj().field("schema", REPORT_SCHEMA).field("records", records)
+}
+
+/// Writes the report document as pretty-enough JSON (one record per line,
+/// diff-friendly) and flushes the writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_report<W: Write>(document: &Json, mut out: W) -> io::Result<()> {
+    let records = document
+        .get("records")
+        .and_then(Json::as_arr)
+        .expect("report documents carry a records array");
+    let schema =
+        document.get("schema").and_then(Json::as_str).expect("report documents carry a schema tag");
+    writeln!(out, "{{\"schema\": {},", Json::from(schema).render())?;
+    writeln!(out, " \"records\": [")?;
+    for (k, record) in records.iter().enumerate() {
+        let comma = if k + 1 == records.len() { "" } else { "," };
+        writeln!(out, "  {}{}", record.render(), comma)?;
+    }
+    writeln!(out, " ]}}")?;
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_carry_the_full_shape() {
+        let pla: Pla = ".i 4\n.o 1\n11-- 1\n--11 1\n.e\n".parse().expect("valid");
+        let record = bench_record("fig3", &pla, &Options::default());
+        assert_eq!(record.get("name").and_then(Json::as_str), Some("fig3"));
+        assert_eq!(record.get("verified").and_then(Json::as_bool), Some(true));
+        let netlist = record.get("netlist").expect("netlist stats");
+        assert_eq!(netlist.get("gates").and_then(Json::as_f64), Some(3.0));
+        let bdd = record.get("bdd").expect("bdd counters");
+        assert!(bdd.get("mk_calls").and_then(Json::as_f64).unwrap() > 0.0);
+        let decomp = record.get("decomp").expect("decomp stats");
+        assert!(decomp.get("calls").and_then(Json::as_f64).unwrap() >= 1.0);
+        let histogram = decomp.get("depth_histogram").and_then(Json::as_arr).expect("histogram");
+        assert!(!histogram.is_empty(), "telemetry is forced on for records");
+    }
+
+    #[test]
+    fn written_documents_parse_back() {
+        let pla: Pla = ".i 4\n.o 1\n11-- 1\n--11 1\n.e\n".parse().expect("valid");
+        let doc = report_document(vec![bench_record("fig3", &pla, &Options::default())]);
+        let mut bytes = Vec::new();
+        write_report(&doc, &mut bytes).expect("in-memory write");
+        let text = String::from_utf8(bytes).expect("utf-8");
+        let parsed = Json::parse(&text).expect("writer output must parse");
+        assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(REPORT_SCHEMA));
+        assert_eq!(parsed.get("records").and_then(Json::as_arr).unwrap().len(), 1);
+    }
+}

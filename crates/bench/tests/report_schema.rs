@@ -1,0 +1,102 @@
+//! Golden test for the `BENCH_bidecomp.json` schema: the document the
+//! `report` binary writes must parse with the workspace JSON parser and
+//! keep the `bidecomp-bench/v1` record shape stable.
+
+use bench::report::{bench_record, report_document, write_report, REPORT_SCHEMA};
+use bidecomp::Options;
+use obs::json::Json;
+
+/// The top-level keys of one record, in schema order.
+const RECORD_KEYS: [&str; 6] = ["name", "verified", "time_s", "netlist", "phases", "bdd"];
+const NETLIST_KEYS: [&str; 8] =
+    ["inputs", "outputs", "gates", "exors", "inverters", "cascades", "area", "delay"];
+const PHASE_KEYS: [&str; 4] = ["ordering_s", "bdd_build_s", "decompose_s", "verify_s"];
+const BDD_KEYS: [&str; 10] = [
+    "peak_nodes",
+    "mk_calls",
+    "unique_hits",
+    "apply_steps",
+    "cache_lookups",
+    "cache_hits",
+    "cache_hit_rate",
+    "gc_runs",
+    "gc_nodes_reclaimed",
+    "gc_time_s",
+];
+const DECOMP_KEYS: [&str; 13] = [
+    "calls",
+    "cache_hits",
+    "terminal_cases",
+    "strong_or",
+    "strong_and",
+    "strong_exor",
+    "weak",
+    "shannon",
+    "weak_rate",
+    "cache_hit_rate",
+    "inessential_rate",
+    "max_depth",
+    "depth_histogram",
+];
+
+fn suite_document() -> Json {
+    // Two small suite members keep the test fast while exercising the
+    // exact record builder the `report` binary uses.
+    let mut records = Vec::new();
+    for name in ["rd73", "alu2"] {
+        let b = benchmarks::by_name(name).expect("suite member");
+        records.push(bench_record(b.name, &b.pla, &Options::default()));
+    }
+    report_document(records)
+}
+
+#[test]
+fn report_document_matches_the_v1_schema() {
+    let document = suite_document();
+    let mut bytes = Vec::new();
+    write_report(&document, &mut bytes).expect("in-memory write");
+    let text = String::from_utf8(bytes).expect("utf-8");
+    let parsed = Json::parse(&text).expect("document must parse with the workspace parser");
+
+    assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(REPORT_SCHEMA));
+    let records = parsed.get("records").and_then(Json::as_arr).expect("records array");
+    assert_eq!(records.len(), 2);
+    for record in records {
+        let keys = record.keys();
+        for want in RECORD_KEYS {
+            assert!(keys.contains(&want), "record key {want} missing from {keys:?}");
+        }
+        assert_eq!(record.keys().last(), Some(&"decomp"), "decomp closes the record");
+        for (section, wanted) in [
+            ("netlist", &NETLIST_KEYS[..]),
+            ("phases", &PHASE_KEYS[..]),
+            ("bdd", &BDD_KEYS[..]),
+            ("decomp", &DECOMP_KEYS[..]),
+        ] {
+            let obj = record.get(section).unwrap_or_else(|| panic!("{section} section"));
+            assert_eq!(obj.keys(), wanted, "{section} keys drifted");
+        }
+        // Spot-check semantics, not just shape.
+        assert_eq!(record.get("verified").and_then(Json::as_bool), Some(true));
+        let decomp = record.get("decomp").expect("decomp");
+        let calls = decomp.get("calls").and_then(Json::as_f64).expect("calls");
+        let histogram = decomp.get("depth_histogram").and_then(Json::as_arr).expect("histogram");
+        let total: f64 = histogram.iter().map(|n| n.as_f64().expect("numeric bucket")).sum();
+        assert_eq!(total, calls, "histogram buckets sum to the recursive call count");
+        assert_eq!(decomp.get("max_depth").and_then(Json::as_f64), Some(histogram.len() as f64));
+    }
+}
+
+#[test]
+fn benchmark_names_with_escapes_render_safely() {
+    // The schema must survive names needing JSON escaping.
+    let b = benchmarks::by_name("rd73").expect("suite member");
+    let record = bench_record("odd \"name\"\\path", &b.pla, &Options::default());
+    let document = report_document(vec![record]);
+    let mut bytes = Vec::new();
+    write_report(&document, &mut bytes).expect("in-memory write");
+    let text = String::from_utf8(bytes).expect("utf-8");
+    let parsed = Json::parse(&text).expect("escaped names must round-trip");
+    let records = parsed.get("records").and_then(Json::as_arr).expect("records");
+    assert_eq!(records[0].get("name").and_then(Json::as_str), Some("odd \"name\"\\path"));
+}

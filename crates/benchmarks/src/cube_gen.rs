@@ -6,10 +6,9 @@
 //! the inputs, and cubes are sparse (few literals relative to the input
 //! count). The generator reproduces both, deterministically from a seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use pla::{Cube, OutputValue, Pla, Trit};
+
+use crate::rng::SplitMix64;
 
 /// Parameters of a synthetic cube-list benchmark.
 #[derive(Clone, Copy, Debug)]
@@ -42,16 +41,16 @@ pub struct SynthSpec {
 pub fn structured_pla(spec: &SynthSpec) -> Pla {
     assert!(spec.window <= spec.num_inputs, "window must fit the inputs");
     assert!(spec.literals <= spec.window, "cube literals must fit the window");
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SplitMix64::new(spec.seed);
     let mut pla = Pla::new(spec.num_inputs, spec.num_outputs);
     for out in 0..spec.num_outputs {
-        let window_start = rng.gen_range(0..spec.num_inputs);
-        let emit = |rng: &mut StdRng, pla: &mut Pla, value: OutputValue| {
+        let window_start = rng.gen_range(spec.num_inputs);
+        let emit = |rng: &mut SplitMix64, pla: &mut Pla, value: OutputValue| {
             let mut inputs = vec![Trit::Dc; spec.num_inputs];
             // Choose distinct positions within the (wrapping) window.
             let mut chosen = Vec::with_capacity(spec.literals);
             while chosen.len() < spec.literals {
-                let pos = (window_start + rng.gen_range(0..spec.window)) % spec.num_inputs;
+                let pos = (window_start + rng.gen_range(spec.window)) % spec.num_inputs;
                 if !chosen.contains(&pos) {
                     chosen.push(pos);
                 }

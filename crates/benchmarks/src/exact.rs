@@ -12,11 +12,7 @@ use pla::{Cube, OutputValue, Pla, Trit};
 /// # Panics
 ///
 /// Panics if `num_inputs > 16` or `num_outputs > 64`.
-pub fn pla_from_fn(
-    num_inputs: usize,
-    num_outputs: usize,
-    mut f: impl FnMut(u32) -> u64,
-) -> Pla {
+pub fn pla_from_fn(num_inputs: usize, num_outputs: usize, mut f: impl FnMut(u32) -> u64) -> Pla {
     assert!(num_inputs <= 16, "minterm enumeration limited to 16 inputs");
     assert!(num_outputs <= 64, "outputs are packed into a u64");
     let mut pla = Pla::new(num_inputs, num_outputs);
@@ -29,13 +25,7 @@ pub fn pla_from_fn(
             .map(|k| if m & (1 << k) != 0 { Trit::One } else { Trit::Zero })
             .collect();
         let outputs: Vec<OutputValue> = (0..num_outputs)
-            .map(|k| {
-                if out & (1 << k) != 0 {
-                    OutputValue::One
-                } else {
-                    OutputValue::NotUsed
-                }
-            })
+            .map(|k| if out & (1 << k) != 0 { OutputValue::One } else { OutputValue::NotUsed })
             .collect();
         pla.push(Cube::new(inputs, outputs));
     }
@@ -62,9 +52,7 @@ pub fn symmetric_pla(num_inputs: usize, values: &[bool]) -> Pla {
 ///
 /// As [`pla_from_fn`].
 pub fn rate_pla(num_inputs: usize, num_outputs: usize) -> Pla {
-    pla_from_fn(num_inputs, num_outputs, |m| {
-        u64::from(m.count_ones()) & ((1 << num_outputs) - 1)
-    })
+    pla_from_fn(num_inputs, num_outputs, |m| u64::from(m.count_ones()) & ((1 << num_outputs) - 1))
 }
 
 /// A compact ALU in the spirit of the MCNC `alu2`/`alu4` benchmarks:

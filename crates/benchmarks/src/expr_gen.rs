@@ -8,10 +8,9 @@
 //! of inputs, emitted as the window's on-set minterms (exactly how a
 //! collapsed PLA represents multi-level logic).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use pla::{Cube, OutputValue, Pla, Trit};
+
+use crate::rng::SplitMix64;
 
 /// Parameters of an expression-tree benchmark.
 #[derive(Clone, Copy, Debug)]
@@ -46,9 +45,9 @@ enum Op {
     Xor,
 }
 
-fn random_expr(rng: &mut StdRng, window: usize, depth: usize, xor_weight: f64) -> Expr {
+fn random_expr(rng: &mut SplitMix64, window: usize, depth: usize, xor_weight: f64) -> Expr {
     if depth == 0 {
-        return Expr::Leaf(rng.gen_range(0..window), rng.gen_bool(0.5));
+        return Expr::Leaf(rng.gen_range(window), rng.gen_bool(0.5));
     }
     let op = if rng.gen_bool(xor_weight) {
         Op::Xor
@@ -91,17 +90,16 @@ pub fn expression_pla(spec: &ExprSpec) -> Pla {
     assert!(spec.window <= spec.num_inputs && spec.window <= 12, "window must be ≤ 12");
     assert!((0.0..=1.0).contains(&spec.xor_weight), "xor_weight in [0,1]");
     assert!((0.0..=1.0).contains(&spec.dc_fraction), "dc_fraction in [0,1]");
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SplitMix64::new(spec.seed);
     let mut pla = Pla::new(spec.num_inputs, spec.num_outputs);
     for out in 0..spec.num_outputs {
-        let window_start = rng.gen_range(0..spec.num_inputs);
+        let window_start = rng.gen_range(spec.num_inputs);
         let positions: Vec<usize> =
             (0..spec.window).map(|k| (window_start + k) % spec.num_inputs).collect();
         // Re-roll until the tree is non-constant over its window.
         let (expr, table) = loop {
             let expr = random_expr(&mut rng, spec.window, spec.depth, spec.xor_weight);
-            let table: Vec<bool> =
-                (0..1u32 << spec.window).map(|bits| eval(&expr, bits)).collect();
+            let table: Vec<bool> = (0..1u32 << spec.window).map(|bits| eval(&expr, bits)).collect();
             let ones = table.iter().filter(|&&v| v).count();
             if ones != 0 && ones != table.len() {
                 break (expr, table);
@@ -175,8 +173,7 @@ mod tests {
     #[test]
     fn dc_fraction_emits_dont_care_rows() {
         let with_dc = expression_pla(&ExprSpec { dc_fraction: 0.4, ..spec() });
-        let total_dc: usize =
-            (0..with_dc.num_outputs()).map(|o| with_dc.dc_cubes(o).count()).sum();
+        let total_dc: usize = (0..with_dc.num_outputs()).map(|o| with_dc.dc_cubes(o).count()).sum();
         assert!(total_dc > 0, "dc rows must appear");
     }
 

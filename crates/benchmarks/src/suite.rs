@@ -43,9 +43,7 @@ pub fn by_name(name: &str) -> Option<Benchmark> {
         "9sym" => bench(
             "9sym",
             Exact,
-            symmetric_pla(9, &[
-                false, false, false, true, true, true, true, false, false, false,
-            ]),
+            symmetric_pla(9, &[false, false, false, true, true, true, true, false, false, false]),
         ),
         // 16Sym8: the paper's 16-variable totally symmetric function with
         // polarity 0000111101111110 over the ones-count.
@@ -59,11 +57,7 @@ pub fn by_name(name: &str) -> Option<Benchmark> {
         "rd84" => bench("rd84", Exact, rate_pla(8, 4)),
         // 5xp1: the arithmetic function 5·x + 1 of a 7-bit operand,
         // 10 output bits (the classical reading of the benchmark's name).
-        "5xp1" => bench(
-            "5xp1",
-            Exact,
-            pla_from_fn(7, 10, |m| (5 * m as u64 + 1) & 0x3ff),
-        ),
+        "5xp1" => bench("5xp1", Exact, pla_from_fn(7, 10, |m| (5 * m as u64 + 1) & 0x3ff)),
         // ---- structurally faithful synthetics ----------------------
         // alu2 (10/6) and alu4 (14/8): compact ALUs with the original
         // benchmarks' I/O shapes.
@@ -318,11 +312,7 @@ mod tests {
         for v in [0u64, 1, 63, 127] {
             let expected = 5 * v + 1;
             for bit in 0..10 {
-                assert_eq!(
-                    b.pla.eval(bit, v),
-                    Some(expected & (1 << bit) != 0),
-                    "v={v} bit={bit}"
-                );
+                assert_eq!(b.pla.eval(bit, v), Some(expected & (1 << bit) != 0), "v={v} bit={bit}");
             }
         }
     }

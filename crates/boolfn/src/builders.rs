@@ -53,9 +53,7 @@ pub fn symmetric_from_polarity(num_vars: usize, polarity: &str) -> TruthTable {
 /// The MCNC benchmark **9sym**: 9 inputs, output 1 iff between 3 and 6
 /// inputs are 1. (Public definition; implemented exactly.)
 pub fn sym9() -> TruthTable {
-    symmetric(9, &[
-        false, false, false, true, true, true, true, false, false, false,
-    ])
+    symmetric(9, &[false, false, false, true, true, true, true, false, false, false])
 }
 
 /// The paper's **16Sym8** workload: 16 variables, polarity
@@ -107,9 +105,7 @@ mod tests {
         // Number of minterms: sum of C(9,k) for k in 3..=6.
         let expected: usize = [3usize, 4, 5, 6]
             .iter()
-            .map(|&k| {
-                (0..1u32 << 9).filter(|m| m.count_ones() as usize == k).count()
-            })
+            .map(|&k| (0..1u32 << 9).filter(|m| m.count_ones() as usize == k).count())
             .sum();
         assert_eq!(f.count_ones(), expected);
         assert_eq!(expected, 84 + 126 + 126 + 84);

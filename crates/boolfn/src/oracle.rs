@@ -74,7 +74,8 @@ pub fn exor_bidecomposable(q: &TruthTable, r: &TruthTable, xa: u32, xb: u32) -> 
     let n = q.num_vars();
     let all = (1u32 << n) - 1;
     let xc = all & !(xa | xb);
-    let positions = |mask: u32| -> Vec<u32> { (0..n as u32).filter(|v| mask & (1 << v) != 0).collect() };
+    let positions =
+        |mask: u32| -> Vec<u32> { (0..n as u32).filter(|v| mask & (1 << v) != 0).collect() };
     let (pa, pb, pc) = (positions(xa), positions(xb), positions(xc));
     let spread = |bits: u32, pos: &[u32]| -> u32 {
         pos.iter().enumerate().fold(0, |acc, (k, &p)| acc | (((bits >> k) & 1) << p))
@@ -177,12 +178,7 @@ pub fn weak_and_useful(q: &TruthTable, r: &TruthTable, xa: u32) -> bool {
 ///
 /// Panics if either candidate space exceeds 2^8 functions, or on malformed
 /// inputs as [`or_bidecomposable`].
-pub fn or_bidecomposable_exhaustive(
-    q: &TruthTable,
-    r: &TruthTable,
-    xa: u32,
-    xb: u32,
-) -> bool {
+pub fn or_bidecomposable_exhaustive(q: &TruthTable, r: &TruthTable, xa: u32, xb: u32) -> bool {
     validate(q, r, xa, xb);
     let n = q.num_vars();
     let free_a: Vec<u32> = (0..n as u32).filter(|v| xb & (1 << v) == 0).collect();

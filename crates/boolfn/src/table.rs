@@ -260,8 +260,7 @@ impl TruthTable {
             self.num_vars, other.num_vars,
             "operands must have the same number of variables"
         );
-        let words =
-            self.words.iter().zip(&other.words).map(|(&a, &b)| f(a, b)).collect();
+        let words = self.words.iter().zip(&other.words).map(|(&a, &b)| f(a, b)).collect();
         let mut out = TruthTable { num_vars: self.num_vars, words };
         out.mask_tail();
         out

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 
 use bdd::{Bdd, Func, VarId, VarSet};
 use netlist::{Gate2, Netlist, SignalId};
+use obs::Recorder;
 
 use crate::grouping::{self, Grouping};
 use crate::trace::{Step, TraceEvent};
@@ -44,7 +45,6 @@ pub struct Component {
 /// dec.add_output("f", comp);
 /// assert_eq!(dec.netlist().stats().gates, 2);
 /// ```
-#[derive(Debug)]
 pub struct Decomposer {
     mgr: Bdd,
     netlist: Netlist,
@@ -53,7 +53,30 @@ pub struct Decomposer {
     stats: Stats,
     options: Options,
     trace: Option<Vec<TraceEvent>>,
+    telemetry: Option<Telemetry>,
     depth: usize,
+}
+
+impl std::fmt::Debug for Decomposer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Decomposer")
+            .field("mgr", &self.mgr)
+            .field("stats", &self.stats)
+            .field("options", &self.options)
+            .field("telemetry", &self.telemetry.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Run telemetry collected when [`Options::telemetry`] is on: the recursion
+/// shape and memory pressure of the decomposition, plus the recorder the
+/// events stream to.
+struct Telemetry {
+    recorder: Recorder,
+    /// `depth_hist[d]` = recursive calls entered at depth `d`.
+    depth_hist: Vec<u64>,
+    /// Largest live-node count sampled at any recursion entry.
+    peak_live_nodes: usize,
 }
 
 impl Decomposer {
@@ -73,11 +96,7 @@ impl Decomposer {
     /// # Panics
     ///
     /// Panics if `input_names` is provided with the wrong length.
-    pub fn with_options(
-        num_vars: usize,
-        input_names: Option<&[String]>,
-        options: Options,
-    ) -> Self {
+    pub fn with_options(num_vars: usize, input_names: Option<&[String]>, options: Options) -> Self {
         if let Some(names) = input_names {
             assert_eq!(names.len(), num_vars, "one name per input required");
         }
@@ -96,8 +115,62 @@ impl Decomposer {
             stats: Stats::default(),
             options,
             trace: options.trace.then(Vec::new),
+            telemetry: options.telemetry.then(|| Telemetry {
+                recorder: Recorder::new(),
+                depth_hist: Vec::new(),
+                peak_live_nodes: 0,
+            }),
             depth: 0,
         }
+    }
+
+    /// Attaches a telemetry recorder (and enables collection even if
+    /// [`Options::telemetry`] was off). The recorder is shared with the
+    /// BDD manager, so GC events stream through the same sinks.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.mgr.set_recorder(Some(recorder.clone()));
+        match &mut self.telemetry {
+            Some(t) => t.recorder = recorder,
+            None => {
+                self.telemetry =
+                    Some(Telemetry { recorder, depth_hist: Vec::new(), peak_live_nodes: 0 });
+            }
+        }
+    }
+
+    /// The telemetry recorder, if collection is enabled.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.telemetry.as_ref().map(|t| &t.recorder)
+    }
+
+    /// Recursive calls per depth (`[d]` = calls entered at depth `d`).
+    /// Empty unless telemetry is enabled.
+    pub fn depth_histogram(&self) -> &[u64] {
+        self.telemetry.as_ref().map_or(&[], |t| &t.depth_hist)
+    }
+
+    /// Deepest recursion level reached (0 when telemetry is off or no
+    /// decomposition has run).
+    pub fn max_depth(&self) -> usize {
+        self.depth_histogram().len()
+    }
+
+    /// Largest live BDD node count sampled at a recursion entry (0 unless
+    /// telemetry is enabled).
+    pub fn peak_live_nodes(&self) -> usize {
+        self.telemetry.as_ref().map_or(0, |t| t.peak_live_nodes)
+    }
+
+    /// Publishes the recursion telemetry (depth histogram, max depth, peak
+    /// live nodes) on the recorder. No-op when telemetry is off.
+    pub fn emit_recursion_telemetry(&self) {
+        let Some(t) = &self.telemetry else { return };
+        t.recorder.gauge("decomp.max_depth", t.depth_hist.len() as f64);
+        t.recorder.gauge("decomp.peak_live_nodes", t.peak_live_nodes as f64);
+        let hist =
+            obs::json::Json::Arr(t.depth_hist.iter().map(|&c| obs::json::Json::from(c)).collect());
+        t.recorder
+            .point("decomp.depth_histogram", obs::json::Json::obj().field("calls_by_depth", hist));
     }
 
     fn record(&mut self, step: Step) {
@@ -189,6 +262,13 @@ impl Decomposer {
     fn bidecompose(&mut self, isf_in: Isf) -> Component {
         self.stats.calls += 1;
         self.depth += 1;
+        if let Some(t) = &mut self.telemetry {
+            if t.depth_hist.len() < self.depth {
+                t.depth_hist.resize(self.depth, 0);
+            }
+            t.depth_hist[self.depth - 1] += 1;
+            t.peak_live_nodes = t.peak_live_nodes.max(self.mgr.total_nodes());
+        }
         let comp = self.bidecompose_inner(isf_in);
         self.depth -= 1;
         comp
@@ -536,11 +616,8 @@ mod tests {
 
     #[test]
     fn parity_without_exor_still_correct() {
-        let mut dec = Decomposer::with_options(
-            4,
-            None,
-            Options { use_exor: false, ..Options::default() },
-        );
+        let mut dec =
+            Decomposer::with_options(4, None, Options { use_exor: false, ..Options::default() });
         let isf = csf_isf(&mut dec, |mgr| {
             let mut f = Func::ZERO;
             for v in 0..4 {
@@ -716,11 +793,8 @@ mod tests {
     #[test]
     fn trace_records_the_decomposition_tree() {
         use crate::trace::{render_trace, Step};
-        let mut dec = Decomposer::with_options(
-            4,
-            None,
-            Options { trace: true, ..Options::default() },
-        );
+        let mut dec =
+            Decomposer::with_options(4, None, Options { trace: true, ..Options::default() });
         let isf = csf_isf(&mut dec, |mgr| {
             let a = mgr.var(0);
             let b = mgr.var(1);
@@ -734,16 +808,11 @@ mod tests {
         let trace = dec.take_trace();
         assert!(!trace.is_empty());
         // The root step is the strong OR split.
-        assert!(matches!(
-            &trace[0].step,
-            Step::Strong { gate: GateChoice::Or, .. }
-        ));
+        assert!(matches!(&trace[0].step, Step::Strong { gate: GateChoice::Or, .. }));
         assert_eq!(trace[0].depth, 0);
         // Two terminal leaves at depth 1.
-        let leaves: Vec<_> = trace
-            .iter()
-            .filter(|e| matches!(e.step, Step::Terminal { .. }))
-            .collect();
+        let leaves: Vec<_> =
+            trace.iter().filter(|e| matches!(e.step, Step::Terminal { .. })).collect();
         assert_eq!(leaves.len(), 2);
         assert!(leaves.iter().all(|e| e.depth == 1));
         let rendered = render_trace(&trace);
@@ -751,6 +820,73 @@ mod tests {
         assert!(rendered.contains("leaf and("), "{rendered}");
         // The trace resets after take_trace.
         assert!(dec.take_trace().is_empty());
+    }
+
+    #[test]
+    fn telemetry_collects_recursion_shape() {
+        let mut dec =
+            Decomposer::with_options(4, None, Options { telemetry: true, ..Options::default() });
+        let isf = csf_isf(&mut dec, |mgr| {
+            let a = mgr.var(0);
+            let b = mgr.var(1);
+            let c = mgr.var(2);
+            let d = mgr.var(3);
+            let ab = mgr.and(a, b);
+            let cd = mgr.and(c, d);
+            mgr.or(ab, cd)
+        });
+        let comp = dec.decompose(isf);
+        dec.add_output("f", comp);
+        let hist = dec.depth_histogram();
+        assert_eq!(hist[0], 1, "exactly one top-level call");
+        assert!(dec.max_depth() >= 2, "the OR split recurses");
+        assert_eq!(
+            hist.iter().sum::<u64>(),
+            dec.stats().calls as u64,
+            "every recursive call lands in exactly one bucket"
+        );
+        assert!(dec.peak_live_nodes() >= 2);
+        // The histogram is publishable on the recorder.
+        let rec = dec.recorder().expect("telemetry implies a recorder").clone();
+        let sink = obs::MemorySink::new();
+        rec.add_sink(Box::new(sink.clone()));
+        dec.emit_recursion_telemetry();
+        assert_eq!(rec.gauge_value("decomp.max_depth"), Some(dec.max_depth() as f64));
+        assert!(sink.events().iter().any(
+            |e| matches!(e, obs::Event::Point { name, .. } if name == "decomp.depth_histogram")
+        ));
+    }
+
+    #[test]
+    fn telemetry_off_collects_nothing() {
+        let mut dec = Decomposer::new(3, None);
+        let isf = csf_isf(&mut dec, |mgr| {
+            let a = mgr.var(0);
+            let b = mgr.var(1);
+            mgr.and(a, b)
+        });
+        let _ = dec.decompose(isf);
+        assert!(dec.recorder().is_none());
+        assert!(dec.depth_histogram().is_empty());
+        assert_eq!(dec.peak_live_nodes(), 0);
+        dec.emit_recursion_telemetry(); // no-op, must not panic
+    }
+
+    #[test]
+    fn set_recorder_enables_collection_and_reaches_the_manager() {
+        let mut dec = Decomposer::new(3, None);
+        let rec = Recorder::new();
+        dec.set_recorder(rec.clone());
+        let isf = csf_isf(&mut dec, |mgr| {
+            let a = mgr.var(0);
+            let b = mgr.var(1);
+            mgr.or(a, b)
+        });
+        let _ = dec.decompose(isf);
+        assert!(!dec.depth_histogram().is_empty());
+        // The manager shares the recorder: a GC shows up as a counter.
+        dec.gc(&[]);
+        assert_eq!(rec.counter("bdd.gc.runs"), 1);
     }
 
     #[test]

@@ -7,11 +7,39 @@
 
 use std::time::{Duration, Instant};
 
-use bdd::{reorder, Bdd, Func};
+use bdd::{reorder, Bdd, Func, OpStats};
 use netlist::Netlist;
+use obs::json::Json;
+use obs::Recorder;
 use pla::{Pla, Trit};
 
 use crate::{verify, Decomposer, Isf, Options, Stats};
+
+/// Wall-clock time of each phase of the [`decompose_pla`] flow.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PhaseTimes {
+    /// Static variable ordering (literal-frequency heuristic).
+    pub ordering: Duration,
+    /// Building the specification ISF BDDs from the PLA cubes.
+    pub bdd_build: Duration,
+    /// The recursive bi-decomposition of every output (includes netlist
+    /// assembly, which is interleaved with the recursion).
+    pub decompose: Duration,
+    /// BDD-based verification of the result.
+    pub verify: Duration,
+}
+
+impl PhaseTimes {
+    /// The phase times as a JSON object of seconds (the shape embedded in
+    /// run reports).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("ordering_s", self.ordering.as_secs_f64())
+            .field("bdd_build_s", self.bdd_build.as_secs_f64())
+            .field("decompose_s", self.decompose.as_secs_f64())
+            .field("verify_s", self.verify.as_secs_f64())
+    }
+}
 
 /// Result of decomposing a PLA.
 #[derive(Debug)]
@@ -29,6 +57,17 @@ pub struct DecompOutcome {
     pub elapsed: Duration,
     /// Peak live BDD node count observed.
     pub bdd_nodes: usize,
+    /// Per-phase wall-clock breakdown (always populated; cheap).
+    pub phases: PhaseTimes,
+    /// BDD manager operation counters accumulated across the whole run
+    /// (mk/apply/cache plus the GC counters).
+    pub op_stats: OpStats,
+    /// Recursive calls per depth. Empty unless [`Options::telemetry`] is
+    /// on or a recorder was attached.
+    pub depth_histogram: Vec<u64>,
+    /// The decomposition trace (one event per recursive call). Empty
+    /// unless [`Options::trace`] is on.
+    pub trace: Vec<crate::trace::TraceEvent>,
 }
 
 /// Builds the specification ISFs of every PLA output inside `mgr`.
@@ -106,7 +145,21 @@ pub fn isfs_from_pla(mgr: &mut Bdd, pla: &Pla) -> Vec<Isf> {
 ///
 /// See the [crate-level example](crate) for usage.
 pub fn decompose_pla(pla: &Pla, options: &Options) -> DecompOutcome {
+    decompose_pla_with_recorder(pla, options, None)
+}
+
+/// [`decompose_pla`] with a telemetry [`Recorder`] attached: every phase
+/// and every output runs under a hierarchical span, GC events and table
+/// gauges stream from the BDD manager, and the recursion-depth histogram
+/// is published at the end. Attaching a recorder implies
+/// [`Options::telemetry`].
+pub fn decompose_pla_with_recorder(
+    pla: &Pla,
+    options: &Options,
+    recorder: Option<Recorder>,
+) -> DecompOutcome {
     let start = Instant::now();
+    let run_span = recorder.as_ref().map(|r| r.span("decompose_pla"));
     let n = pla.num_inputs();
     let input_names: Vec<String> = match pla.input_labels() {
         Some(labels) => labels.to_vec(),
@@ -117,41 +170,90 @@ pub fn decompose_pla(pla: &Pla, options: &Options) -> DecompOutcome {
         None => (0..pla.num_outputs()).map(|k| format!("y{k}")).collect(),
     };
     let mut dec = Decomposer::with_options(n, Some(&input_names), *options);
-    if options.order_by_frequency {
-        let order = reorder::order_by_frequency(&pla.literal_frequencies());
-        dec.set_variable_order(&order);
+    if let Some(rec) = &recorder {
+        dec.set_recorder(rec.clone());
     }
-    let isfs = isfs_from_pla(dec.manager(), pla);
-    let mut peak_nodes = dec.manager().total_nodes();
-    let mut components = Vec::with_capacity(isfs.len());
-    for (k, isf) in isfs.iter().enumerate() {
-        let comp = dec.decompose(*isf);
-        dec.add_output(output_names[k].clone(), comp);
-        components.push(comp);
-        peak_nodes = peak_nodes.max(dec.manager().total_nodes());
-        if dec.manager().total_nodes() > options.gc_threshold {
-            // Keep the remaining specifications and finished components.
-            let mut roots: Vec<Func> = components.iter().map(|c| c.func).collect();
-            for isf in &isfs[k + 1..] {
-                roots.push(isf.q);
-                roots.push(isf.r);
-            }
-            for isf in &isfs[..=k] {
-                roots.push(isf.q);
-                roots.push(isf.r);
-            }
-            dec.gc(&roots);
+    let mut phases = PhaseTimes::default();
+
+    let t = Instant::now();
+    {
+        let _span = recorder.as_ref().map(|r| r.span("order"));
+        if options.order_by_frequency {
+            let order = reorder::order_by_frequency(&pla.literal_frequencies());
+            dec.set_variable_order(&order);
         }
     }
+    phases.ordering = t.elapsed();
+
+    let t = Instant::now();
+    let isfs = {
+        let _span = recorder.as_ref().map(|r| r.span("bdd_build"));
+        isfs_from_pla(dec.manager(), pla)
+    };
+    phases.bdd_build = t.elapsed();
+
+    let t = Instant::now();
+    let mut peak_nodes = dec.manager().total_nodes();
+    {
+        let _span = recorder.as_ref().map(|r| r.span("decompose"));
+        let mut components = Vec::with_capacity(isfs.len());
+        for (k, isf) in isfs.iter().enumerate() {
+            let _out_span =
+                recorder.as_ref().map(|r| r.span(format!("output.{}", output_names[k])));
+            let comp = dec.decompose(*isf);
+            dec.add_output(output_names[k].clone(), comp);
+            components.push(comp);
+            peak_nodes = peak_nodes.max(dec.manager().total_nodes());
+            if dec.manager().total_nodes() > options.gc_threshold {
+                // Keep the remaining specifications and finished components.
+                let mut roots: Vec<Func> = components.iter().map(|c| c.func).collect();
+                for isf in &isfs[k + 1..] {
+                    roots.push(isf.q);
+                    roots.push(isf.r);
+                }
+                for isf in &isfs[..=k] {
+                    roots.push(isf.q);
+                    roots.push(isf.r);
+                }
+                dec.gc(&roots);
+            }
+        }
+    }
+    phases.decompose = t.elapsed();
     let elapsed = start.elapsed();
+
+    dec.emit_recursion_telemetry();
+    peak_nodes = peak_nodes.max(dec.peak_live_nodes());
+    let depth_histogram = dec.depth_histogram().to_vec();
+    let trace = dec.take_trace();
     let (netlist, stats, mut mgr) = dec.into_parts();
+
+    let t = Instant::now();
     let verified = if options.verify {
+        let _span = recorder.as_ref().map(|r| r.span("verify"));
         verify::verify_netlist(&mut mgr, &netlist, &isfs)
     } else {
         true
     };
+    phases.verify = t.elapsed();
+
     peak_nodes = peak_nodes.max(mgr.total_nodes());
-    DecompOutcome { netlist, stats, verified, elapsed, bdd_nodes: peak_nodes }
+    mgr.emit_gauges();
+    drop(run_span);
+    if let Some(rec) = &recorder {
+        rec.flush();
+    }
+    DecompOutcome {
+        netlist,
+        stats,
+        verified,
+        elapsed,
+        bdd_nodes: peak_nodes,
+        phases,
+        op_stats: mgr.op_stats(),
+        depth_histogram,
+        trace,
+    }
 }
 
 #[cfg(test)]
@@ -281,5 +383,68 @@ mod tests {
         let outcome = decompose_pla(&pla, &Options::default());
         assert!(outcome.bdd_nodes >= 2);
         assert!(outcome.elapsed.as_nanos() > 0);
+        // Phase times and op counters are always populated…
+        assert!(outcome.phases.bdd_build.as_nanos() > 0);
+        assert!(outcome.phases.decompose.as_nanos() > 0);
+        assert!(outcome.phases.verify.as_nanos() > 0);
+        assert!(outcome.op_stats.mk_calls > 0);
+        // …but the depth histogram needs the telemetry opt-in, and the
+        // trace its own flag.
+        assert!(outcome.depth_histogram.is_empty());
+        assert!(outcome.trace.is_empty());
+        let with_trace = decompose_pla(&pla, &Options { trace: true, ..Options::default() });
+        assert!(!with_trace.trace.is_empty());
+        let with_telemetry =
+            decompose_pla(&pla, &Options { telemetry: true, ..Options::default() });
+        assert_eq!(with_telemetry.depth_histogram[0], 1);
+        assert_eq!(
+            with_telemetry.depth_histogram.iter().sum::<u64>(),
+            with_telemetry.stats.calls as u64
+        );
+    }
+
+    #[test]
+    fn recorder_sees_nested_phase_spans() {
+        use obs::{Event, MemorySink, Recorder};
+        let pla: Pla = "\
+.i 4
+.o 2
+11-- 11
+--1- 10
+---1 01
+.e
+"
+        .parse()
+        .expect("valid");
+        let rec = Recorder::new();
+        let sink = MemorySink::new();
+        rec.add_sink(Box::new(sink.clone()));
+        let outcome = decompose_pla_with_recorder(&pla, &Options::default(), Some(rec.clone()));
+        assert!(outcome.verified);
+        let events = sink.events();
+        let starts: Vec<(String, usize)> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanStart { name, depth } => Some((name.clone(), *depth)),
+                _ => None,
+            })
+            .collect();
+        // The run span wraps the phases; per-output spans nest inside the
+        // decompose phase.
+        assert_eq!(starts[0], ("decompose_pla".to_owned(), 0));
+        assert!(starts.contains(&("order".to_owned(), 1)));
+        assert!(starts.contains(&("bdd_build".to_owned(), 1)));
+        assert!(starts.contains(&("decompose".to_owned(), 1)));
+        assert!(starts.contains(&("output.y0".to_owned(), 2)));
+        assert!(starts.contains(&("output.y1".to_owned(), 2)));
+        assert!(starts.contains(&("verify".to_owned(), 1)));
+        // Every span closed (balanced start/end).
+        let ends = events.iter().filter(|e| matches!(e, Event::SpanEnd { .. })).count();
+        assert_eq!(starts.len(), ends);
+        // Manager gauges were published at the end of the run.
+        assert!(rec.gauge_value("bdd.total_nodes").is_some());
+        assert_eq!(rec.gauge_value("decomp.max_depth"), Some(outcome.depth_histogram.len() as f64));
+        // The histogram rides along even though Options::telemetry was off.
+        assert!(!outcome.depth_histogram.is_empty());
     }
 }

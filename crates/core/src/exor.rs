@@ -176,12 +176,7 @@ mod tests {
         let b = mgr.var(1);
         let f = mgr.and(a, b);
         let isf = Isf::from_csf(&mut mgr, f);
-        assert!(!exor_decomposable(
-            &mut mgr,
-            &isf,
-            &VarSet::singleton(0),
-            &VarSet::singleton(1)
-        ));
+        assert!(!exor_decomposable(&mut mgr, &isf, &VarSet::singleton(0), &VarSet::singleton(1)));
     }
 
     #[test]
@@ -236,13 +231,9 @@ mod tests {
     fn fully_unspecified_function_decomposes_trivially() {
         let mut mgr = Bdd::new(3);
         let isf = Isf::new(&mut mgr, Func::ZERO, Func::ZERO);
-        let comps = check_exor_bidecomp(
-            &mut mgr,
-            &isf,
-            &VarSet::singleton(0),
-            &VarSet::singleton(1),
-        )
-        .expect("everything is compatible");
+        let comps =
+            check_exor_bidecomp(&mut mgr, &isf, &VarSet::singleton(0), &VarSet::singleton(1))
+                .expect("everything is compatible");
         assert!(comps.a.q.is_zero() && comps.a.r.is_zero());
         assert!(comps.b.q.is_zero() && comps.b.r.is_zero());
     }

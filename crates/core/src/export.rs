@@ -23,8 +23,7 @@ pub fn pla_from_netlist(netlist: &Netlist) -> Pla {
     let bdds = netlist.to_bdds(&mut mgr);
     let input_labels: Vec<String> =
         netlist.inputs().iter().map(|&s| netlist.input_name(s).to_owned()).collect();
-    let output_labels: Vec<String> =
-        netlist.outputs().iter().map(|(n, _)| n.clone()).collect();
+    let output_labels: Vec<String> = netlist.outputs().iter().map(|(n, _)| n.clone()).collect();
     let mut pla = Pla::new(num_inputs, num_outputs)
         .with_input_labels(input_labels)
         .with_output_labels(output_labels);
@@ -71,11 +70,7 @@ mod tests {
         // The exported cover computes the same functions.
         for m in 0..16u64 {
             for out in 0..2 {
-                assert_eq!(
-                    exported.eval(out, m),
-                    original.eval(out, m),
-                    "m={m:04b} out={out}"
-                );
+                assert_eq!(exported.eval(out, m), original.eval(out, m), "m={m:04b} out={out}");
             }
         }
         // And it is compact: the two-cube ON-set of f is recovered.

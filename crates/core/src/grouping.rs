@@ -60,13 +60,7 @@ pub fn find_initial_grouping(
         for &y in &vars[i + 1..] {
             let ok = match gate {
                 GateChoice::Exor => check::exor_decomposable_pair(mgr, isf, x, y),
-                _ => decomposable(
-                    mgr,
-                    isf,
-                    gate,
-                    &VarSet::singleton(x),
-                    &VarSet::singleton(y),
-                ),
+                _ => decomposable(mgr, isf, gate, &VarSet::singleton(x), &VarSet::singleton(y)),
             };
             if ok {
                 return Some(Grouping { xa: VarSet::singleton(x), xb: VarSet::singleton(y) });
@@ -92,11 +86,8 @@ pub fn group_variables(
     for z in rest.iter() {
         let zs = VarSet::singleton(z);
         // Try the smaller set first to keep the grouping balanced.
-        let (first_a, second_a) = if grouping.xa.len() <= grouping.xb.len() {
-            (true, false)
-        } else {
-            (false, true)
-        };
+        let (first_a, second_a) =
+            if grouping.xa.len() <= grouping.xb.len() { (true, false) } else { (false, true) };
         for to_a in [first_a, second_a] {
             let (xa, xb) = if to_a {
                 (grouping.xa.union(&zs), grouping.xb)
@@ -189,13 +180,14 @@ mod tests {
         let f = mgr.or(ab, cd);
         let isf = Isf::from_csf(&mut mgr, f);
         let support = isf.support(&mgr);
-        let g = group_variables(&mut mgr, &isf, &support, GateChoice::Or)
-            .expect("OR grouping exists");
+        let g =
+            group_variables(&mut mgr, &isf, &support, GateChoice::Or).expect("OR grouping exists");
         // The greedy growth must find the full balanced split {a,b}/{c,d}
         // (in some order).
         assert_eq!(g.total(), 4);
         assert_eq!(g.imbalance(), 0);
-        let split_ok = (g.xa == VarSet::from_iter([0u32, 1]) && g.xb == VarSet::from_iter([2u32, 3]))
+        let split_ok = (g.xa == VarSet::from_iter([0u32, 1])
+            && g.xb == VarSet::from_iter([2u32, 3]))
             || (g.xa == VarSet::from_iter([2u32, 3]) && g.xb == VarSet::from_iter([0u32, 1]));
         assert!(split_ok, "got {:?}", g);
     }

@@ -75,10 +75,7 @@ impl Isf {
 
     /// Cofactor of the interval w.r.t. one literal.
     pub fn cofactor(&self, mgr: &mut Bdd, v: VarId, value: bool) -> Isf {
-        Isf {
-            q: mgr.cofactor(self.q, v, value),
-            r: mgr.cofactor(self.r, v, value),
-        }
+        Isf { q: mgr.cofactor(self.q, v, value), r: mgr.cofactor(self.r, v, value) }
     }
 
     /// The *essential* support: variables on which at least one of `Q`, `R`
@@ -108,10 +105,7 @@ impl Isf {
         for v in isf.support(mgr).iter() {
             if isf.is_inessential(mgr, v) {
                 let vs = VarSet::singleton(v);
-                isf = Isf {
-                    q: mgr.exists_set(isf.q, &vs),
-                    r: mgr.exists_set(isf.r, &vs),
-                };
+                isf = Isf { q: mgr.exists_set(isf.q, &vs), r: mgr.exists_set(isf.r, &vs) };
                 removed += 1;
             }
         }

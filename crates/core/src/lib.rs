@@ -63,7 +63,9 @@ pub mod trace;
 pub mod verify;
 
 pub use decompose::{Component, Decomposer};
-pub use driver::{decompose_pla, isfs_from_pla, DecompOutcome};
+pub use driver::{
+    decompose_pla, decompose_pla_with_recorder, isfs_from_pla, DecompOutcome, PhaseTimes,
+};
 pub use export::pla_from_netlist;
 pub use isf::Isf;
 pub use options::{GateChoice, Options};

@@ -55,6 +55,12 @@ pub struct Options {
     /// Record a [`crate::trace::TraceEvent`] per recursive call
     /// (retrieved with [`crate::Decomposer::take_trace`]).
     pub trace: bool,
+    /// Collect run telemetry: recursion-depth histogram, peak-live-node
+    /// sampling, per-phase timing spans and BDD/GC counters (streamed to
+    /// an [`obs::Recorder`] when one is attached). Off by default — the
+    /// hot recursion then pays only an `Option` branch and allocates
+    /// nothing.
+    pub telemetry: bool,
     /// Trigger a garbage collection between outputs when the manager
     /// exceeds this many live nodes.
     pub gc_threshold: usize,
@@ -70,6 +76,7 @@ impl Default for Options {
             order_by_frequency: true,
             verify: true,
             trace: false,
+            telemetry: false,
             gc_threshold: 2_000_000,
         }
     }
@@ -96,6 +103,7 @@ mod tests {
     fn defaults_match_paper() {
         let o = Options::default();
         assert!(o.use_exor && o.use_cache && o.use_strong);
+        assert!(!o.telemetry, "telemetry is opt-in");
         assert_eq!(Options::paper(), o);
         assert!(!Options::weak_only().use_strong);
     }

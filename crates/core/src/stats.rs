@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use obs::report::{pct, pct2, ratio};
+
 /// Counters accumulated across one decomposition run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct Stats {
@@ -44,7 +46,8 @@ impl Stats {
     /// Fraction of *decomposing* calls (strong + weak + Shannon) that had
     /// to use a weak decomposition — the paper's "20–30%".
     pub fn weak_rate(&self) -> f64 {
-        let decomposing = self.strong_or + self.strong_and + self.strong_exor + self.weak + self.shannon;
+        let decomposing =
+            self.strong_or + self.strong_and + self.strong_exor + self.weak + self.shannon;
         ratio(self.weak + self.shannon, decomposing)
     }
 
@@ -70,23 +73,15 @@ impl Stats {
     }
 }
 
-fn ratio(num: usize, den: usize) -> f64 {
-    if den == 0 {
-        0.0
-    } else {
-        num as f64 / den as f64
-    }
-}
-
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "calls:            {}", self.calls)?;
         writeln!(
             f,
-            "cache hits:       {} (+{} complemented, {:.1}%)",
+            "cache hits:       {} (+{} complemented, {})",
             self.cache_hits,
             self.cache_hits_complement,
-            100.0 * self.cache_hit_rate()
+            pct(self.cache_hit_rate())
         )?;
         writeln!(f, "terminal cases:   {}", self.terminal_cases)?;
         writeln!(
@@ -96,17 +91,17 @@ impl fmt::Display for Stats {
         )?;
         writeln!(
             f,
-            "weak + shannon:   {} + {} ({:.1}% of decomposing calls)",
+            "weak + shannon:   {} + {} ({} of decomposing calls)",
             self.weak,
             self.shannon,
-            100.0 * self.weak_rate()
+            pct(self.weak_rate())
         )?;
         write!(
             f,
-            "inessential vars: {} in {} calls ({:.2}% of calls)",
+            "inessential vars: {} in {} calls ({} of calls)",
             self.inessential_removed,
             self.calls_with_inessential,
-            100.0 * self.inessential_rate()
+            pct2(self.inessential_rate())
         )
     }
 }

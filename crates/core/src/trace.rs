@@ -3,8 +3,11 @@
 //! for inspection, debugging and documentation.
 
 use std::fmt::Write as _;
+use std::io;
 
 use bdd::{VarId, VarSet};
+use obs::json::Json;
+use obs::{Event, JsonlSink, Sink as _};
 
 use crate::GateChoice;
 
@@ -52,6 +55,51 @@ pub struct TraceEvent {
     pub depth: usize,
     /// What the call did.
     pub step: Step,
+}
+
+impl TraceEvent {
+    /// The event as a JSON object (the per-line shape of
+    /// [`write_trace_jsonl`]).
+    pub fn to_json(&self) -> Json {
+        let base = Json::obj().field("depth", self.depth);
+        match &self.step {
+            Step::CacheHit { complemented } => {
+                base.field("step", "cache_hit").field("complemented", *complemented)
+            }
+            Step::Terminal { desc } => base.field("step", "terminal").field("leaf", desc.as_str()),
+            Step::Strong { gate, xa, xb } => base
+                .field("step", "strong")
+                .field("gate", gate.name())
+                .field("xa", xa.to_string())
+                .field("xb", xb.to_string()),
+            Step::Weak { gate, xa } => {
+                base.field("step", "weak").field("gate", gate.name()).field("xa", xa.to_string())
+            }
+            Step::Shannon { var } => base.field("step", "shannon").field("var", *var as u64),
+        }
+    }
+
+    /// The event wrapped as an [`obs::Event`] point, for streaming through
+    /// any recorder sink.
+    pub fn to_point(&self) -> Event {
+        Event::Point { name: "trace".to_owned(), fields: self.to_json() }
+    }
+}
+
+/// Streams a decomposition trace through an [`obs::JsonlSink`]: one
+/// machine-readable line per recursive call (consumed by the `stats`
+/// binary's `--trace-out`). Per-line write errors are swallowed (sinks are
+/// observability, not control flow); the final flush is fallible.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the closing flush of the writer.
+pub fn write_trace_jsonl<W: io::Write>(trace: &[TraceEvent], writer: W) -> io::Result<()> {
+    let mut sink = JsonlSink::new(writer);
+    for event in trace {
+        sink.accept(&event.to_point());
+    }
+    sink.into_inner().flush()
 }
 
 /// Renders a trace as an indented tree, one line per recursive call.
@@ -133,5 +181,49 @@ mod tests {
     #[test]
     fn empty_trace_renders_empty() {
         assert_eq!(render_trace(&[]), "");
+    }
+
+    #[test]
+    fn trace_events_round_trip_through_jsonl() {
+        let trace = vec![
+            TraceEvent {
+                depth: 0,
+                step: Step::Strong {
+                    gate: GateChoice::Or,
+                    xa: VarSet::singleton(2),
+                    xb: VarSet::singleton(0),
+                },
+            },
+            TraceEvent { depth: 1, step: Step::Terminal { desc: "and(x0, ¬x1)".into() } },
+            TraceEvent { depth: 1, step: Step::CacheHit { complemented: true } },
+            TraceEvent { depth: 2, step: Step::Shannon { var: 3 } },
+        ];
+        let buf = obs::SharedBuf::new();
+        write_trace_jsonl(&trace, buf.clone()).expect("in-memory write");
+        let contents = buf.contents();
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for (line, event) in lines.iter().zip(&trace) {
+            let parsed = Json::parse(line).expect("sink output must parse");
+            assert_eq!(parsed.get("type").and_then(Json::as_str), Some("point"));
+            assert_eq!(parsed.get("name").and_then(Json::as_str), Some("trace"));
+            let fields = parsed.get("fields").expect("payload");
+            assert_eq!(fields.get("depth").and_then(Json::as_f64), Some(event.depth as f64));
+        }
+        // Spot-check the per-step payloads (including the non-ASCII leaf).
+        let first = Json::parse(lines[0]).unwrap();
+        let fields = first.get("fields").unwrap();
+        assert_eq!(fields.get("step").and_then(Json::as_str), Some("strong"));
+        assert_eq!(fields.get("gate").and_then(Json::as_str), Some("or"));
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(
+            second.get("fields").and_then(|f| f.get("leaf")).and_then(Json::as_str),
+            Some("and(x0, ¬x1)")
+        );
+        let fourth = Json::parse(lines[3]).unwrap();
+        assert_eq!(
+            fourth.get("fields").and_then(|f| f.get("var")).and_then(Json::as_f64),
+            Some(3.0)
+        );
     }
 }

@@ -87,7 +87,7 @@ mod tests {
         let ab = mgr.and(a, b);
         let nor = mgr.nor(a, b);
         let isf = Isf::new(&mut mgr, ab, nor); // 1 on ab, 0 on ¬a¬b, else dc
-        // Netlist computing just `a` is a valid completion.
+                                               // Netlist computing just `a` is a valid completion.
         let mut nl = Netlist::new();
         let sa = nl.add_input("a");
         let _sb = nl.add_input("b");

@@ -48,15 +48,9 @@ pub fn decompose(isf: &MvIsf) -> (MvNetlist, MvNodeId) {
 }
 
 /// [`decompose`] with explicit options, also returning statistics.
-pub fn decompose_with_options(
-    isf: &MvIsf,
-    options: &MvOptions,
-) -> (MvNetlist, MvNodeId, MvStats) {
-    let mut dec = MvDecomposer {
-        netlist: MvNetlist::new(),
-        stats: MvStats::default(),
-        options: *options,
-    };
+pub fn decompose_with_options(isf: &MvIsf, options: &MvOptions) -> (MvNetlist, MvNodeId, MvStats) {
+    let mut dec =
+        MvDecomposer { netlist: MvNetlist::new(), stats: MvStats::default(), options: *options };
     let (root, realized) = dec.recurse(isf);
     debug_assert!(isf.contains(&realized), "MV decomposition must stay in the interval");
     (dec.netlist, root, dec.stats)
@@ -98,8 +92,7 @@ impl MvDecomposer {
             None => {
                 let value = lo.get_idx(0);
                 let node = self.netlist.constant(value as u8);
-                let table =
-                    MvTable::constant(lo.domains(), lo.output_arity(), value);
+                let table = MvTable::constant(lo.domains(), lo.output_arity(), value);
                 (node, table)
             }
             Some(v) => {
@@ -110,9 +103,8 @@ impl MvDecomposer {
                     .collect();
                 let input = self.netlist.input(v);
                 let node = self.netlist.unary(input, lut.clone());
-                let table = MvTable::from_fn(lo.domains(), lo.output_arity(), |p| {
-                    lut[p[v]] as usize
-                });
+                let table =
+                    MvTable::from_fn(lo.domains(), lo.output_arity(), |p| lut[p[v]] as usize);
                 debug_assert!(isf.contains(&table));
                 (node, table)
             }
@@ -219,9 +211,7 @@ impl MvDecomposer {
             let guarded_table = indicator_table.min(&branch_table);
             acc = Some(match acc {
                 None => (guarded, guarded_table),
-                Some((node, table)) => {
-                    (self.netlist.max(node, guarded), table.max(&guarded_table))
-                }
+                Some((node, table)) => (self.netlist.max(node, guarded), table.max(&guarded_table)),
             });
         }
         acc.expect("domains are ≥ 2, so at least one branch exists")
@@ -257,9 +247,7 @@ mod tests {
     #[test]
     fn nested_min_max_tree() {
         // f = max(min(x0, x1), min(x2, x3)) over ternary variables.
-        let f = MvTable::from_fn(&[3, 3, 3, 3], 3, |p| {
-            (p[0].min(p[1])).max(p[2].min(p[3]))
-        });
+        let f = MvTable::from_fn(&[3, 3, 3, 3], 3, |p| (p[0].min(p[1])).max(p[2].min(p[3])));
         let isf = MvIsf::from_table(&f);
         let (nl, root, stats) = decompose_with_options(&isf, &MvOptions::default());
         exhaustive_check(&isf, &nl, root);
@@ -331,10 +319,8 @@ mod tests {
     fn options_disable_gates() {
         let f = MvTable::from_fn(&[3, 3], 3, |p| p[0].min(p[1]));
         let isf = MvIsf::from_table(&f);
-        let (nl, root, stats) = decompose_with_options(
-            &isf,
-            &MvOptions { use_min: false, use_max: true },
-        );
+        let (nl, root, stats) =
+            decompose_with_options(&isf, &MvOptions { use_min: false, use_max: true });
         exhaustive_check(&isf, &nl, root);
         assert_eq!(stats.strong_min, 0);
         assert!(stats.shannon > 0 || stats.strong_max > 0);

@@ -77,10 +77,7 @@ impl MvIsf {
         for var in 0..self.lo.num_vars() {
             if isf.support_mask() & (1 << var) != 0 && isf.is_inessential(var) {
                 let mask = 1u32 << var;
-                isf = MvIsf {
-                    lo: isf.lo.max_over(mask),
-                    hi: isf.hi.min_over(mask),
-                };
+                isf = MvIsf { lo: isf.lo.max_over(mask), hi: isf.hi.min_over(mask) };
                 removed += 1;
             }
         }
@@ -128,13 +125,16 @@ impl MvIsf {
         // Where B's floor already exceeds hi, A must come down to hi;
         // elsewhere A is unconstrained above. The cap must be
         // X_B-independent, so take the min over X_B of the pointwise cap.
-        let cap = pointwise(&self.hi, |idx, hi| {
-            if b_canonical.get_idx(idx) > hi {
-                hi as u8
-            } else {
-                top
-            }
-        });
+        let cap = pointwise(
+            &self.hi,
+            |idx, hi| {
+                if b_canonical.get_idx(idx) > hi {
+                    hi as u8
+                } else {
+                    top
+                }
+            },
+        );
         let hi_a = cap.min_over(xb);
         MvIsf::new(a_floor, hi_a)
     }
@@ -150,13 +150,7 @@ impl MvIsf {
     pub fn min_component_b(&self, f_a: &MvTable, xa: u32) -> MvIsf {
         let b_floor = self.lo.max_over(xa);
         let top = (self.hi.output_arity() - 1) as u8;
-        let cap = pointwise(&self.hi, |idx, hi| {
-            if f_a.get_idx(idx) > hi {
-                hi as u8
-            } else {
-                top
-            }
-        });
+        let cap = pointwise(&self.hi, |idx, hi| if f_a.get_idx(idx) > hi { hi as u8 } else { top });
         let hi_b = cap.min_over(xa);
         MvIsf::new(b_floor, hi_b)
     }
@@ -172,13 +166,8 @@ impl MvIsf {
         assert!(self.max_decomposable(xa, xb), "ISF is not MAX-decomposable with these sets");
         let a_ceil = self.hi.min_over(xb);
         let b_canonical = self.hi.min_over(xa);
-        let floor = pointwise(&self.lo, |idx, lo| {
-            if b_canonical.get_idx(idx) < lo {
-                lo as u8
-            } else {
-                0
-            }
-        });
+        let floor =
+            pointwise(&self.lo, |idx, lo| if b_canonical.get_idx(idx) < lo { lo as u8 } else { 0 });
         let lo_a = floor.max_over(xb);
         MvIsf::new(lo_a, a_ceil)
     }
@@ -190,13 +179,7 @@ impl MvIsf {
     /// Panics if `f_a` is not compatible with component A's interval.
     pub fn max_component_b(&self, f_a: &MvTable, xa: u32) -> MvIsf {
         let b_ceil = self.hi.min_over(xa);
-        let floor = pointwise(&self.lo, |idx, lo| {
-            if f_a.get_idx(idx) < lo {
-                lo as u8
-            } else {
-                0
-            }
-        });
+        let floor = pointwise(&self.lo, |idx, lo| if f_a.get_idx(idx) < lo { lo as u8 } else { 0 });
         let lo_b = floor.max_over(xa);
         MvIsf::new(lo_b, b_ceil)
     }
@@ -266,13 +249,7 @@ mod tests {
         // allowed: widen to the full range everywhere except two anchor
         // points.
         let f = MvTable::from_fn(&[3, 3], 3, |p| (p[0] + p[1]) % 3);
-        let lo = MvTable::from_fn(&[3, 3], 3, |p| {
-            if p == [0, 0] {
-                f.get(p)
-            } else {
-                0
-            }
-        });
+        let lo = MvTable::from_fn(&[3, 3], 3, |p| if p == [0, 0] { f.get(p) } else { 0 });
         let hi = MvTable::from_fn(&[3, 3], 3, |p| if p == [2, 2] { f.get(p) } else { 2 });
         let isf = MvIsf::new(lo, hi);
         assert!(isf.min_decomposable(0b01, 0b10));

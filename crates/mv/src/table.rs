@@ -208,8 +208,7 @@ impl MvTable {
 
     fn zip(&self, other: &Self, f: impl Fn(u8, u8) -> u8) -> Self {
         self.check_signature(other);
-        let values =
-            self.values.iter().zip(&other.values).map(|(&a, &b)| f(a, b)).collect();
+        let values = self.values.iter().zip(&other.values).map(|(&a, &b)| f(a, b)).collect();
         MvTable { domains: self.domains.clone(), k: self.k, values }
     }
 
@@ -238,13 +237,7 @@ impl MvTable {
 
 impl fmt::Debug for MvTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "MvTable(domains {:?}, k={}, {} points)",
-            self.domains,
-            self.k,
-            self.values.len()
-        )
+        write!(f, "MvTable(domains {:?}, k={}, {} points)", self.domains, self.k, self.values.len())
     }
 }
 

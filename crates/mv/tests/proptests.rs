@@ -1,25 +1,23 @@
-//! Property tests for the multi-valued generalization.
+//! Property tests for the multi-valued generalization, driven by a seeded
+//! splitmix64 stream (the workspace carries no external property-testing
+//! dependency) — each case reproduces from its seed alone.
 
+use benchmarks::SplitMix64;
 use mv::{decompose_with_options, MvIsf, MvOptions, MvTable};
-use proptest::prelude::*;
+
+/// Seeded random cases per property (mirrors the old proptest case count).
+const CASES: u64 = 48;
 
 /// A random MV interval over a fixed small signature.
-fn interval_strategy() -> impl Strategy<Value = MvIsf> {
+fn random_interval(seed: u64) -> MvIsf {
+    let mut rng = SplitMix64::new(seed);
     let domains = [3usize, 2, 3];
     let size: usize = domains.iter().product();
-    (
-        proptest::collection::vec(0usize..4, size),
-        proptest::collection::vec(0usize..4, size),
-    )
-        .prop_map(move |(a, b)| {
-            let ta = MvTable::from_fn(&domains, 4, |p| {
-                a[index(&domains, p)]
-            });
-            let tb = MvTable::from_fn(&domains, 4, |p| {
-                b[index(&domains, p)]
-            });
-            MvIsf::new(ta.min(&tb), ta.max(&tb))
-        })
+    let a: Vec<usize> = (0..size).map(|_| rng.gen_range(4)).collect();
+    let b: Vec<usize> = (0..size).map(|_| rng.gen_range(4)).collect();
+    let ta = MvTable::from_fn(&domains, 4, |p| a[index(&domains, p)]);
+    let tb = MvTable::from_fn(&domains, 4, |p| b[index(&domains, p)]);
+    MvIsf::new(ta.min(&tb), ta.max(&tb))
 }
 
 fn index(domains: &[usize], point: &[usize]) -> usize {
@@ -30,22 +28,27 @@ fn index(domains: &[usize], point: &[usize]) -> usize {
     idx
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn decomposition_stays_in_interval(isf in interval_strategy()) {
+#[test]
+fn decomposition_stays_in_interval() {
+    for seed in 0..CASES {
+        let isf = random_interval(seed);
         let (nl, root, _) = decompose_with_options(&isf, &MvOptions::default());
         for p in isf.lo().points() {
             let got = nl.eval(root, &p);
-            prop_assert!(isf.lo().get(&p) <= got && got <= isf.hi().get(&p),
-                "point {p:?}: {got} outside [{}, {}]",
-                isf.lo().get(&p), isf.hi().get(&p));
+            assert!(
+                isf.lo().get(&p) <= got && got <= isf.hi().get(&p),
+                "seed {seed}, point {p:?}: {got} outside [{}, {}]",
+                isf.lo().get(&p),
+                isf.hi().get(&p)
+            );
         }
     }
+}
 
-    #[test]
-    fn check_is_sound_and_complete_for_derivation(isf in interval_strategy()) {
+#[test]
+fn check_is_sound_and_complete_for_derivation() {
+    for seed in 0..CASES {
+        let isf = random_interval(seed);
         // Whenever the MIN check passes, the derived components recompose
         // into the interval for the extreme completions; whenever it
         // fails, the canonical floors violate the upper bound.
@@ -53,39 +56,43 @@ proptest! {
             let a_floor = isf.lo().max_over(xb);
             let b_floor = isf.lo().max_over(xa);
             let canonical = a_floor.min(&b_floor);
-            prop_assert_eq!(
+            assert_eq!(
                 isf.min_decomposable(xa, xb),
                 canonical.le(isf.hi()),
-                "check must coincide with the canonical recomposition"
+                "seed {seed}: check must coincide with the canonical recomposition"
             );
             if isf.min_decomposable(xa, xb) {
                 let a = isf.min_component_a(xa, xb);
                 let fa = a.lo().clone();
                 let b = isf.min_component_b(&fa, xa);
                 let f = fa.min(b.lo());
-                prop_assert!(isf.contains(&f));
+                assert!(isf.contains(&f), "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn shannon_only_configuration_is_still_sound(isf in interval_strategy()) {
-        let (nl, root, stats) = decompose_with_options(
-            &isf,
-            &MvOptions { use_min: false, use_max: false },
-        );
+#[test]
+fn shannon_only_configuration_is_still_sound() {
+    for seed in 0..CASES {
+        let isf = random_interval(seed);
+        let (nl, root, stats) =
+            decompose_with_options(&isf, &MvOptions { use_min: false, use_max: false });
         for p in isf.lo().points() {
             let got = nl.eval(root, &p);
-            prop_assert!(isf.lo().get(&p) <= got && got <= isf.hi().get(&p));
+            assert!(isf.lo().get(&p) <= got && got <= isf.hi().get(&p), "seed {seed}, point {p:?}");
         }
-        prop_assert_eq!(stats.strong_min + stats.strong_max, 0);
+        assert_eq!(stats.strong_min + stats.strong_max, 0, "seed {seed}");
     }
+}
 
-    #[test]
-    fn inessential_removal_preserves_compatibility(isf in interval_strategy()) {
+#[test]
+fn inessential_removal_preserves_compatibility() {
+    for seed in 0..CASES {
+        let isf = random_interval(seed);
         let (reduced, _) = isf.remove_inessential();
         // Any completion of the reduced interval fits the original.
-        prop_assert!(isf.contains(reduced.lo()));
-        prop_assert!(isf.contains(reduced.hi()));
+        assert!(isf.contains(reduced.lo()), "seed {seed}");
+        assert!(isf.contains(reduced.hi()), "seed {seed}");
     }
 }

@@ -42,8 +42,7 @@ impl Netlist {
                     let _ = writeln!(out, "0 1");
                 }
                 Gate::Binary(op, a, b) => {
-                    let _ =
-                        writeln!(out, ".names {} {} n{s}", signal_name(a), signal_name(b));
+                    let _ = writeln!(out, ".names {} {} n{s}", signal_name(a), signal_name(b));
                     let cover = match op {
                         Gate2::And => "11 1\n",
                         Gate2::Or => "1- 1\n-1 1\n",
@@ -118,9 +117,7 @@ impl Netlist {
                         ));
                     }
                     other => {
-                        return Err(ParseBlifError::new(format!(
-                            "unsupported directive .{other}"
-                        )));
+                        return Err(ParseBlifError::new(format!("unsupported directive .{other}")));
                     }
                 }
                 continue;
@@ -206,17 +203,13 @@ fn resolve(
             '1' => on_rows = true,
             '0' => off_rows = true,
             other => {
-                return Err(ParseBlifError::new(format!(
-                    "unsupported cover output {other:?}"
-                )));
+                return Err(ParseBlifError::new(format!("unsupported cover output {other:?}")));
             }
         }
-    let _ = pattern;
+        let _ = pattern;
     }
     if on_rows && off_rows {
-        return Err(ParseBlifError::new(
-            "covers mixing on-set and off-set rows are not supported",
-        ));
+        return Err(ParseBlifError::new("covers mixing on-set and off-set rows are not supported"));
     }
     let complemented = off_rows;
     for (pattern, _) in rows {

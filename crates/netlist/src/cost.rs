@@ -78,6 +78,22 @@ pub struct NetlistStats {
     pub delay: f64,
 }
 
+impl NetlistStats {
+    /// The statistics as a JSON object (one Table 2 row, used by the bench
+    /// report writer).
+    pub fn to_json(&self) -> obs::json::Json {
+        obs::json::Json::obj()
+            .field("inputs", self.inputs as u64)
+            .field("outputs", self.outputs as u64)
+            .field("gates", self.gates as u64)
+            .field("exors", self.exors as u64)
+            .field("inverters", self.inverters as u64)
+            .field("cascades", self.cascades as u64)
+            .field("area", self.area)
+            .field("delay", self.delay)
+    }
+}
+
 impl Netlist {
     /// Statistics under the default (paper) cost model.
     pub fn stats(&self) -> NetlistStats {

@@ -41,5 +41,5 @@ mod sim;
 
 pub use blif::ParseBlifError;
 pub use cost::{CostModel, NetlistStats};
-pub use report::ConeReport;
 pub use graph::{Gate, Gate2, Netlist, SignalId};
+pub use report::ConeReport;

@@ -25,11 +25,7 @@ impl Netlist {
     ///
     /// Panics if `patterns.len()` differs from the number of inputs.
     pub fn simulate_all(&self, patterns: &[u64]) -> Vec<u64> {
-        assert_eq!(
-            patterns.len(),
-            self.inputs().len(),
-            "need one pattern word per primary input"
-        );
+        assert_eq!(patterns.len(), self.inputs().len(), "need one pattern word per primary input");
         let mut values = vec![0u64; self.nodes().len()];
         let mut next_input = 0;
         for (idx, gate) in self.nodes().iter().enumerate() {
@@ -61,13 +57,8 @@ impl Netlist {
     ///
     /// Panics if `assignment.len()` differs from the number of inputs.
     pub fn eval_single(&self, output: &str, assignment: &[bool]) -> Option<bool> {
-        let patterns: Vec<u64> =
-            assignment.iter().map(|&b| if b { 1 } else { 0 }).collect();
-        let (pos, _) = self
-            .outputs()
-            .iter()
-            .enumerate()
-            .find(|(_, (name, _))| name == output)?;
+        let patterns: Vec<u64> = assignment.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        let (pos, _) = self.outputs().iter().enumerate().find(|(_, (name, _))| name == output)?;
         Some(self.simulate(&patterns)[pos] & 1 != 0)
     }
 
@@ -77,8 +68,7 @@ impl Netlist {
     ///
     /// Panics if `assignment.len()` differs from the number of inputs.
     pub fn eval_all(&self, assignment: &[bool]) -> Vec<bool> {
-        let patterns: Vec<u64> =
-            assignment.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        let patterns: Vec<u64> = assignment.iter().map(|&b| if b { 1 } else { 0 }).collect();
         self.simulate(&patterns).iter().map(|&w| w & 1 != 0).collect()
     }
 }
@@ -112,10 +102,7 @@ mod tests {
             let total = a as u32 + b as u32 + c as u32;
             assert_eq!(nl.eval_single("sum", &[a, b, c]), Some(total % 2 == 1));
             assert_eq!(nl.eval_single("cout", &[a, b, c]), Some(total >= 2));
-            assert_eq!(
-                nl.eval_all(&[a, b, c]),
-                vec![total % 2 == 1, total >= 2]
-            );
+            assert_eq!(nl.eval_all(&[a, b, c]), vec![total % 2 == 1, total >= 2]);
         }
         assert_eq!(nl.eval_single("nope", &[false, false, false]), None);
     }

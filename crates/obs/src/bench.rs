@@ -1,0 +1,134 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! Replaces the external `criterion` dependency for the workspace's
+//! `benches/` targets: warm-up, repeated timed samples, and a compact
+//! median/mean/min report per benchmark. Not statistically fancy — the
+//! perf *trajectory* lives in the machine-readable `BENCH_*.json` run
+//! reports; this harness exists for quick relative comparisons.
+
+use std::time::{Duration, Instant};
+
+/// Collected timing samples of one benchmark.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// Benchmark name.
+    pub name: String,
+    /// Per-sample wall-clock times, sorted ascending.
+    pub samples: Vec<Duration>,
+}
+
+impl Summary {
+    /// Fastest sample.
+    pub fn min(&self) -> Duration {
+        self.samples.first().copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// Median sample.
+    pub fn median(&self) -> Duration {
+        self.samples.get(self.samples.len() / 2).copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+}
+
+/// The harness: construct, run [`bench`](Harness::bench) per workload,
+/// results print as they complete.
+///
+/// ```
+/// let mut h = obs::bench::Harness::new("demo").samples(5).warmup(0);
+/// let s = h.bench("sum", || (0..1000u64).sum::<u64>());
+/// assert_eq!(s.samples.len(), 5);
+/// ```
+pub struct Harness {
+    group: String,
+    samples: usize,
+    warmup_iters: usize,
+    quiet: bool,
+}
+
+impl Harness {
+    /// Creates a harness; `group` prefixes every printed line.
+    pub fn new(group: impl Into<String>) -> Self {
+        Harness { group: group.into(), samples: 15, warmup_iters: 3, quiet: false }
+    }
+
+    /// Sets the number of timed samples (default 15).
+    pub fn samples(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Sets the number of untimed warm-up iterations (default 3).
+    pub fn warmup(mut self, iters: usize) -> Self {
+        self.warmup_iters = iters;
+        self
+    }
+
+    /// Suppresses printing (used by the harness's own tests).
+    pub fn quiet(mut self) -> Self {
+        self.quiet = true;
+        self
+    }
+
+    /// Runs one benchmark: `f` is executed `warmup + samples` times and
+    /// each post-warmup execution is timed individually.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> Summary {
+        for _ in 0..self.warmup_iters {
+            std::hint::black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            samples.push(start.elapsed());
+        }
+        samples.sort();
+        let summary = Summary { name: format!("{}/{name}", self.group), samples };
+        if !self.quiet {
+            println!(
+                "{:40} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}  ({} samples)",
+                summary.name,
+                summary.min(),
+                summary.median(),
+                summary.mean(),
+                summary.samples.len()
+            );
+        }
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_collected_and_sorted() {
+        let mut h = Harness::new("t").samples(4).warmup(1).quiet();
+        let s = h.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..10_000 {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        });
+        assert_eq!(s.samples.len(), 4);
+        assert!(s.samples.windows(2).all(|w| w[0] <= w[1]));
+        assert!(s.min() <= s.median());
+        assert!(s.mean() > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = Summary { name: "x".into(), samples: Vec::new() };
+        assert_eq!(s.min(), Duration::ZERO);
+        assert_eq!(s.median(), Duration::ZERO);
+        assert_eq!(s.mean(), Duration::ZERO);
+    }
+}

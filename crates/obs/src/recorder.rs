@@ -1,0 +1,173 @@
+//! The recorder: shared aggregation point for counters, gauges and spans.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::sink::{Event, Sink};
+
+struct Inner {
+    depth: usize,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+/// A cheap-to-clone handle to one telemetry session.
+///
+/// All clones share the same counters and sinks; layers hold a `Recorder`
+/// (or an `Option<Recorder>`) and emit into it. Counters and gauges are
+/// aggregated in memory *and* forwarded to every attached sink, so a run
+/// can be inspected both as a stream (JSONL) and as totals.
+///
+/// ```
+/// use obs::{MemorySink, Recorder};
+///
+/// let rec = Recorder::new();
+/// let sink = MemorySink::new();
+/// rec.add_sink(Box::new(sink.clone()));
+/// {
+///     let _span = rec.span("phase.work");
+///     rec.count("items", 3);
+/// }
+/// assert_eq!(rec.counter("items"), 3);
+/// assert_eq!(sink.len(), 3); // span start, counter, span end
+/// ```
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// Creates a recorder with no sinks (counters still aggregate).
+    pub fn new() -> Self {
+        Recorder {
+            inner: Rc::new(RefCell::new(Inner {
+                depth: 0,
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                sinks: Vec::new(),
+            })),
+        }
+    }
+
+    /// Attaches a sink; every subsequent event is forwarded to it.
+    pub fn add_sink(&self, sink: Box<dyn Sink>) {
+        self.inner.borrow_mut().sinks.push(sink);
+    }
+
+    fn emit(&self, event: Event) {
+        let mut inner = self.inner.borrow_mut();
+        for sink in &mut inner.sinks {
+            sink.accept(&event);
+        }
+    }
+
+    /// Opens a RAII span; the span closes (and emits its duration) on drop.
+    pub fn span(&self, name: impl Into<String>) -> Span {
+        let name = name.into();
+        let depth = {
+            let mut inner = self.inner.borrow_mut();
+            let depth = inner.depth;
+            inner.depth += 1;
+            depth
+        };
+        self.emit(Event::SpanStart { name: name.clone(), depth });
+        Span { recorder: self.clone(), name, depth, start: Instant::now() }
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn count(&self, name: &str, delta: u64) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
+        }
+        self.emit(Event::Counter { name: name.to_owned(), delta });
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge(&self, name: &str, value: f64) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.gauges.insert(name.to_owned(), value);
+        }
+        self.emit(Event::Gauge { name: name.to_owned(), value });
+    }
+
+    /// Emits a free-form structured event.
+    pub fn point(&self, name: &str, fields: Json) {
+        self.emit(Event::Point { name: name.to_owned(), fields });
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.borrow().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.inner.borrow().gauges.get(name).copied()
+    }
+
+    /// Snapshot of all counters.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.inner.borrow().counters.clone()
+    }
+
+    /// Snapshot of all gauges.
+    pub fn gauges(&self) -> BTreeMap<String, f64> {
+        self.inner.borrow().gauges.clone()
+    }
+
+    /// Flushes every attached sink.
+    pub fn flush(&self) {
+        let mut inner = self.inner.borrow_mut();
+        for sink in &mut inner.sinks {
+            sink.flush();
+        }
+    }
+}
+
+/// An open hierarchical timing span (see [`Recorder::span`]).
+///
+/// Dropping the span emits a [`Event::SpanEnd`] carrying the wall-clock
+/// duration and restores the nesting depth.
+pub struct Span {
+    recorder: Recorder,
+    name: String,
+    depth: usize,
+    start: Instant,
+}
+
+impl Span {
+    /// Wall-clock time since the span opened.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+
+    /// Closes the span now (equivalent to dropping it).
+    pub fn close(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let duration = self.start.elapsed();
+        {
+            let mut inner = self.recorder.inner.borrow_mut();
+            inner.depth = inner.depth.saturating_sub(1);
+        }
+        self.recorder.emit(Event::SpanEnd {
+            name: std::mem::take(&mut self.name),
+            depth: self.depth,
+            duration,
+        });
+    }
+}

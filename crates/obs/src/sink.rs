@@ -1,0 +1,230 @@
+//! Event sinks: where telemetry events go.
+//!
+//! The [`Recorder`](crate::Recorder) aggregates counters in memory and
+//! forwards every [`Event`] to any number of sinks. Two sinks ship with
+//! the crate: a human-readable indented text sink and a JSON-lines sink
+//! for machine consumption; [`MemorySink`] captures events for tests.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::rc::Rc;
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// One telemetry event.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Event {
+    /// A hierarchical span opened (`depth` 0 = top level).
+    SpanStart {
+        /// Span name, dot-separated by convention (`decompose.output`).
+        name: String,
+        /// Nesting depth at the moment the span opened.
+        depth: usize,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Span name (matches the corresponding `SpanStart`).
+        name: String,
+        /// Nesting depth the span had while open.
+        depth: usize,
+        /// Wall-clock duration of the span.
+        duration: Duration,
+    },
+    /// A named counter was incremented.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Increment applied (the recorder keeps the running total).
+        delta: u64,
+    },
+    /// A named gauge was set.
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// New value.
+        value: f64,
+    },
+    /// A free-form structured event (e.g. one GC run).
+    Point {
+        /// Event name.
+        name: String,
+        /// Structured payload.
+        fields: Json,
+    },
+}
+
+impl Event {
+    /// The event as a single JSON object (the JSONL record shape).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Event::SpanStart { name, depth } => Json::obj()
+                .field("type", "span_start")
+                .field("name", name.as_str())
+                .field("depth", *depth),
+            Event::SpanEnd { name, depth, duration } => Json::obj()
+                .field("type", "span_end")
+                .field("name", name.as_str())
+                .field("depth", *depth)
+                .field("elapsed_s", duration.as_secs_f64()),
+            Event::Counter { name, delta } => Json::obj()
+                .field("type", "counter")
+                .field("name", name.as_str())
+                .field("delta", *delta),
+            Event::Gauge { name, value } => Json::obj()
+                .field("type", "gauge")
+                .field("name", name.as_str())
+                .field("value", *value),
+            Event::Point { name, fields } => Json::obj()
+                .field("type", "point")
+                .field("name", name.as_str())
+                .field("fields", fields.clone()),
+        }
+    }
+}
+
+/// A destination for telemetry events.
+pub trait Sink {
+    /// Receives one event. Sinks must not panic on I/O failure; they are
+    /// observability, not control flow.
+    fn accept(&mut self, event: &Event);
+
+    /// Flushes any buffered output (called by [`Recorder::flush`]).
+    ///
+    /// [`Recorder::flush`]: crate::Recorder::flush
+    fn flush(&mut self) {}
+}
+
+/// Human-readable sink: one indented line per event.
+pub struct TextSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> TextSink<W> {
+    /// Creates a text sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        TextSink { out }
+    }
+}
+
+impl<W: Write> Sink for TextSink<W> {
+    fn accept(&mut self, event: &Event) {
+        let line = match event {
+            Event::SpanStart { name, depth } => {
+                format!("{:indent$}▸ {name}", "", indent = depth * 2)
+            }
+            Event::SpanEnd { name, depth, duration } => {
+                format!(
+                    "{:indent$}◂ {name} {:.3}ms",
+                    "",
+                    duration.as_secs_f64() * 1e3,
+                    indent = depth * 2
+                )
+            }
+            Event::Counter { name, delta } => format!("  + {name} += {delta}"),
+            Event::Gauge { name, value } => format!("  = {name} = {value}"),
+            Event::Point { name, fields } => format!("  • {name} {}", fields.render()),
+        };
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Machine-readable sink: one compact JSON object per line (JSONL).
+pub struct JsonlSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Creates a JSONL sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out }
+    }
+
+    /// Consumes the sink, returning the writer (so callers can flush it
+    /// fallibly or hand it back).
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn accept(&mut self, event: &Event) {
+        let _ = writeln!(self.out, "{}", event.to_json().render());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Captures events in memory (for tests and post-run inspection).
+#[derive(Clone, Default)]
+pub struct MemorySink {
+    events: Rc<RefCell<Vec<Event>>>,
+}
+
+impl MemorySink {
+    /// Creates an empty memory sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of every event received so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.borrow().clone()
+    }
+
+    /// Number of events received.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// Whether no events were received.
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+}
+
+impl Sink for MemorySink {
+    fn accept(&mut self, event: &Event) {
+        self.events.borrow_mut().push(event.clone());
+    }
+}
+
+/// A shareable in-memory byte buffer implementing [`Write`] — lets tests
+/// keep a handle on the bytes a [`JsonlSink`] or [`TextSink`] produces.
+#[derive(Clone, Default)]
+pub struct SharedBuf {
+    bytes: Rc<RefCell<Vec<u8>>>,
+}
+
+impl SharedBuf {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The buffered bytes, decoded as UTF-8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer holds invalid UTF-8.
+    pub fn contents(&self) -> String {
+        String::from_utf8(self.bytes.borrow().clone()).expect("sinks write utf-8")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.bytes.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}

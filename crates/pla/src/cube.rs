@@ -138,10 +138,7 @@ mod tests {
 
     #[test]
     fn cube_cover_and_literals() {
-        let c = Cube::new(
-            vec![Trit::One, Trit::Dc, Trit::Zero],
-            vec![OutputValue::One],
-        );
+        let c = Cube::new(vec![Trit::One, Trit::Dc, Trit::Zero], vec![OutputValue::One]);
         assert!(c.covers(0b001));
         assert!(c.covers(0b011));
         assert!(!c.covers(0b101));

@@ -165,9 +165,7 @@ impl Pla {
     /// `fr`/`fdr` types; empty otherwise).
     pub fn off_cubes(&self, output: usize) -> impl Iterator<Item = &Cube> {
         let zero_is_off = self.pla_type.zero_is_offset();
-        self.cubes
-            .iter()
-            .filter(move |c| zero_is_off && c.outputs()[output] == OutputValue::Zero)
+        self.cubes.iter().filter(move |c| zero_is_off && c.outputs()[output] == OutputValue::Zero)
     }
 
     /// Evaluates output `output` on a complete input assignment, returning
@@ -358,10 +356,7 @@ impl FromStr for Pla {
             let (ni, no) = match (num_inputs, num_outputs) {
                 (Some(i), Some(o)) => (i, o),
                 _ => {
-                    return Err(ParsePlaError::new(
-                        lineno,
-                        "cube before .i/.o declarations",
-                    ));
+                    return Err(ParsePlaError::new(lineno, "cube before .i/.o declarations"));
                 }
             };
             let compact: String =

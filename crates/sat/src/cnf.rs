@@ -32,7 +32,7 @@ impl Lit {
 
     /// `true` for a positive literal.
     pub fn is_positive(self) -> bool {
-        self.0 % 2 == 0
+        self.0.is_multiple_of(2)
     }
 
     /// The complemented literal.
@@ -146,9 +146,9 @@ impl Cnf {
     /// Panics if `assignment.len() != num_vars`.
     pub fn eval(&self, assignment: &[bool]) -> bool {
         assert_eq!(assignment.len(), self.num_vars, "assignment arity mismatch");
-        self.clauses.iter().all(|clause| {
-            clause.iter().any(|l| assignment[l.var() as usize] == l.is_positive())
-        })
+        self.clauses
+            .iter()
+            .all(|clause| clause.iter().any(|l| assignment[l.var() as usize] == l.is_positive()))
     }
 }
 

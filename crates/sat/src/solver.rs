@@ -114,8 +114,7 @@ impl Solver {
             } else {
                 match self.pick_branch() {
                     None => {
-                        let model =
-                            self.assign.iter().map(|v| v.unwrap_or(false)).collect();
+                        let model = self.assign.iter().map(|v| v.unwrap_or(false)).collect();
                         return Verdict::Sat(model);
                     }
                     Some(lit) => {
@@ -228,7 +227,7 @@ impl Solver {
             let neg = Lit::neg(var as u32);
             let (op, on) = (self.occurrences[pos.code()], self.occurrences[neg.code()]);
             let (count, lit) = if op >= on { (op + on, pos) } else { (op + on, neg) };
-            if best.map_or(true, |(c, _)| count > c) {
+            if best.is_none_or(|(c, _)| count > c) {
                 best = Some((count, lit));
             }
         }
@@ -279,11 +278,11 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // j indexes two parallel rows
     fn pigeonhole_three_pigeons_two_holes_is_unsat() {
         // Variables p[i][j]: pigeon i in hole j.
         let mut cnf = Cnf::new();
-        let p: Vec<Vec<Var>> =
-            (0..3).map(|_| (0..2).map(|_| cnf.fresh_var()).collect()).collect();
+        let p: Vec<Vec<Var>> = (0..3).map(|_| (0..2).map(|_| cnf.fresh_var()).collect()).collect();
         for row in &p {
             cnf.add_clause(row.iter().map(|&v| Lit::pos(v)));
         }

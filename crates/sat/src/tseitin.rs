@@ -149,9 +149,7 @@ pub fn check_equivalence(a: &Netlist, b: &Netlist) -> Option<Vec<bool>> {
     let (cnf, inputs) = miter(a, b);
     match solve(&cnf) {
         Verdict::Unsat => None,
-        Verdict::Sat(model) => {
-            Some(inputs.iter().map(|&v| model[v as usize]).collect())
-        }
+        Verdict::Sat(model) => Some(inputs.iter().map(|&v| model[v as usize]).collect()),
     }
 }
 
@@ -182,7 +180,7 @@ mod tests {
         let c = nl.add_input("c");
         let axb = nl.add_gate(Gate2::Xnor, a, b); // ¬(a ⊕ b)
         let naxb = nl.add_not(axb); // a ⊕ b
-        // XNOR(¬t, c) = t ⊕ c — the sum, through complemented gates.
+                                    // XNOR(¬t, c) = t ⊕ c — the sum, through complemented gates.
         let sum = nl.add_gate(Gate2::Xnor, axb, c);
         let ab = nl.add_gate(Gate2::Nand, a, b);
         let t = nl.add_gate(Gate2::Nand, naxb, c);

@@ -49,11 +49,7 @@ fn different_option_variants_are_equivalent_when_fully_specified() {
         bidecomp::Options::weak_only(),
     ] {
         let other = bidecomp::decompose_pla(&pla, &options);
-        assert_eq!(
-            check_equivalence(&default.netlist, &other.netlist),
-            None,
-            "{options:?}"
-        );
+        assert_eq!(check_equivalence(&default.netlist, &other.netlist), None, "{options:?}");
     }
 }
 
@@ -73,8 +69,7 @@ fn sat_and_bdd_agree_on_randomized_pairs() {
             (0..gates).map(|_| (next() % 3, next(), next())).collect();
         let build = |mutate: Option<usize>| -> Netlist {
             let mut nl = Netlist::new();
-            let mut signals: Vec<_> =
-                (0..n).map(|k| nl.add_input(format!("x{k}"))).collect();
+            let mut signals: Vec<_> = (0..n).map(|k| nl.add_input(format!("x{k}"))).collect();
             for (idx, &(op, a, b)) in recipe.iter().enumerate() {
                 let fa = signals[a % signals.len()];
                 let fb = signals[b % signals.len()];
@@ -96,11 +91,7 @@ fn sat_and_bdd_agree_on_randomized_pairs() {
         let b = if round % 2 == 0 { build(None) } else { build(Some(next() % gates)) };
         let sat_verdict = check_equivalence(&a, &b);
         let bdd_verdict = bdd_equivalent(&a, &b);
-        assert_eq!(
-            sat_verdict.is_none(),
-            bdd_verdict,
-            "round {round}: SAT and BDD must agree"
-        );
+        assert_eq!(sat_verdict.is_none(), bdd_verdict, "round {round}: SAT and BDD must agree");
         if let Some(cex) = sat_verdict {
             assert_ne!(a.eval_all(&cex), b.eval_all(&cex), "counterexample must be real");
         }

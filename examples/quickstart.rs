@@ -38,14 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nBLIF output:\n{}", outcome.netlist.to_blif("fig3"));
 
     // Exercise the netlist.
-    assert_eq!(
-        outcome.netlist.eval_all(&[true, true, false, false]),
-        vec![true]
-    );
-    assert_eq!(
-        outcome.netlist.eval_all(&[true, false, true, false]),
-        vec![false]
-    );
+    assert_eq!(outcome.netlist.eval_all(&[true, true, false, false]), vec![true]);
+    assert_eq!(outcome.netlist.eval_all(&[true, false, true, false]), vec![false]);
     println!("simulation spot-checks passed");
     Ok(())
 }

@@ -30,8 +30,8 @@ pub use bidecomp;
 pub use boolfn;
 pub use mv;
 pub use netlist;
-pub use sat;
 pub use pla;
+pub use sat;
 
 pub mod flow {
     //! Combined flows across subsystems.

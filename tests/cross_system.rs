@@ -19,9 +19,8 @@ fn pla_of(f: &TruthTable) -> Pla {
     let n = f.num_vars();
     let mut pla = Pla::new(n, 1);
     for m in f.minterms() {
-        let inputs: Vec<Trit> = (0..n)
-            .map(|k| if m & (1 << k) != 0 { Trit::One } else { Trit::Zero })
-            .collect();
+        let inputs: Vec<Trit> =
+            (0..n).map(|k| if m & (1 << k) != 0 { Trit::One } else { Trit::Zero }).collect();
         pla.push(Cube::new(inputs, vec![OutputValue::One]));
     }
     pla
@@ -46,11 +45,7 @@ fn boolean_and_mv_decomposers_realize_the_same_functions() {
                 expected,
                 "seed {seed} boolean path m={m:b}"
             );
-            assert_eq!(
-                mv_nl.eval(root, &points) == 1,
-                expected,
-                "seed {seed} mv path m={m:b}"
-            );
+            assert_eq!(mv_nl.eval(root, &points) == 1, expected, "seed {seed} mv path m={m:b}");
         }
     }
 }

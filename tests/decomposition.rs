@@ -19,9 +19,7 @@ fn pla_from_tables(q: &TruthTable, r: &TruthTable) -> Pla {
 }
 
 fn minterm_cube(n: usize, m: u32, value: OutputValue) -> Cube {
-    let inputs = (0..n)
-        .map(|k| if m & (1 << k) != 0 { Trit::One } else { Trit::Zero })
-        .collect();
+    let inputs = (0..n).map(|k| if m & (1 << k) != 0 { Trit::One } else { Trit::Zero }).collect();
     Cube::new(inputs, vec![value])
 }
 
@@ -148,9 +146,14 @@ fn decomposition_statistics_are_consistent() {
     let outcome = decompose_pla(&b.pla, &Options::default());
     let s = outcome.stats;
     assert!(s.calls > 0);
-    let classified =
-        s.cache_hits + s.cache_hits_complement + s.terminal_cases + s.strong_or + s.strong_and
-            + s.strong_exor + s.weak + s.shannon;
+    let classified = s.cache_hits
+        + s.cache_hits_complement
+        + s.terminal_cases
+        + s.strong_or
+        + s.strong_and
+        + s.strong_exor
+        + s.weak
+        + s.shannon;
     assert_eq!(classified, s.calls, "every call ends in exactly one class");
 }
 

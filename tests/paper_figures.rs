@@ -151,8 +151,7 @@ fn fig1_weak_decomposition_increases_dont_cares() {
         assert!(grouping::find_initial_grouping(&mut mgr, &isf, &support, gate).is_none());
     }
     // But a weak grouping does, and it strictly grows the don't-care set.
-    let (gate, xa) =
-        grouping::group_variables_weak(&mut mgr, &isf, &support).expect("weak exists");
+    let (gate, xa) = grouping::group_variables_weak(&mut mgr, &isf, &support).expect("weak exists");
     let comp_a = match gate {
         GateChoice::Or => derive::weak_or_component_a(&mut mgr, &isf, &xa),
         _ => derive::weak_and_component_a(&mut mgr, &isf, &xa),
@@ -182,8 +181,8 @@ fn fig4_exor_check_derives_components() {
     let isf = Isf::from_csf(&mut mgr, f);
     let xa = VarSet::singleton(0);
     let xb = VarSet::singleton(1);
-    let comps = exor::check_exor_bidecomp(&mut mgr, &isf, &xa, &xb)
-        .expect("decomposable by construction");
+    let comps =
+        exor::check_exor_bidecomp(&mut mgr, &isf, &xa, &xb).expect("decomposable by construction");
     // Components must avoid the other side's dedicated variable.
     assert!(!mgr.support(comps.a.q).contains(1));
     assert!(!mgr.support(comps.b.q).contains(0));

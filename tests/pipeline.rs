@@ -30,11 +30,7 @@ fn adder_pla() -> Pla {
             continue;
         }
         let ins: String = (0..6).map(|k| if m & (1 << k) != 0 { '1' } else { '0' }).collect();
-        let outs = format!(
-            "{}{}",
-            if s2 { '1' } else { '-' },
-            if cout { '1' } else { '-' }
-        );
+        let outs = format!("{}{}", if s2 { '1' } else { '-' }, if cout { '1' } else { '-' });
         text.push_str(&format!("{ins} {outs}\n"));
     }
     text.push_str(".e\n");
@@ -55,8 +51,7 @@ fn adder_pipeline_end_to_end() {
     let outcome = decompose_pla(&pla, &Options::default());
     assert!(outcome.verified);
     // Output names survive into the netlist and the BLIF.
-    let names: Vec<&str> =
-        outcome.netlist.outputs().iter().map(|(n, _)| n.as_str()).collect();
+    let names: Vec<&str> = outcome.netlist.outputs().iter().map(|(n, _)| n.as_str()).collect();
     assert_eq!(names, vec!["s2", "cout"]);
     let blif = outcome.netlist.to_blif("adder_hi");
     assert!(blif.contains(".inputs a0 a1 a2 b0 b1 b2"));
@@ -111,10 +106,7 @@ fn pla_written_and_reread_gives_identical_results() {
 fn gc_threshold_does_not_change_results() {
     let b = benchmarks::by_name("rd84").expect("known");
     let normal = decompose_pla(&b.pla, &Options::default());
-    let tight = decompose_pla(
-        &b.pla,
-        &Options { gc_threshold: 500, ..Options::default() },
-    );
+    let tight = decompose_pla(&b.pla, &Options { gc_threshold: 500, ..Options::default() });
     assert!(normal.verified && tight.verified);
     assert!(equivalent(&normal.netlist, &tight.netlist, 8));
 }

@@ -1,14 +1,21 @@
 //! Workspace-level property tests: random multi-output incompletely
 //! specified PLAs driven through every system, with the independent
 //! truth-table referee from `boolfn`.
+//!
+//! Cases are generated from a seeded splitmix64 stream (the workspace
+//! carries no external property-testing dependency), so failures
+//! reproduce from their seed alone.
 
 use baseline::{bds_like, sis_like};
+use benchmarks::SplitMix64;
 use bidecomp::{decompose_pla, Options};
 use boolfn::TruthTable;
 use pla::{Cube, OutputValue, Pla, PlaType, Trit};
-use proptest::prelude::*;
 
 const MAX_VARS: usize = 6;
+
+/// Seeded random cases per property (mirrors the old proptest case count).
+const CASES: u64 = 24;
 
 /// A random multi-output ISF described by per-output (function, care) seed
 /// pairs plus a PLA type.
@@ -19,13 +26,12 @@ struct RandomSpec {
     fr_type: bool,
 }
 
-fn spec_strategy() -> impl Strategy<Value = RandomSpec> {
-    (
-        3usize..=MAX_VARS,
-        proptest::collection::vec((any::<u64>(), any::<u64>()), 1..=3),
-        any::<bool>(),
-    )
-        .prop_map(|(num_vars, outputs, fr_type)| RandomSpec { num_vars, outputs, fr_type })
+fn random_spec(seed: u64) -> RandomSpec {
+    let mut rng = SplitMix64::new(seed);
+    let num_vars = 3 + rng.gen_range(MAX_VARS - 2); // 3..=MAX_VARS
+    let num_outputs = 1 + rng.gen_range(3); // 1..=3
+    let outputs = (0..num_outputs).map(|_| (rng.next_u64(), rng.next_u64())).collect();
+    RandomSpec { num_vars, outputs, fr_type: rng.gen_bool(0.5) }
 }
 
 struct Materialized {
@@ -40,11 +46,8 @@ fn materialize(spec: &RandomSpec) -> Materialized {
     let mut rs = Vec::new();
     for &(fseed, cseed) in &spec.outputs {
         let f = TruthTable::random(n, 0.5, fseed);
-        let care = if spec.fr_type {
-            TruthTable::random(n, 0.7, cseed)
-        } else {
-            TruthTable::ones(n)
-        };
+        let care =
+            if spec.fr_type { TruthTable::random(n, 0.7, cseed) } else { TruthTable::ones(n) };
         qs.push(f.and(&care));
         rs.push(f.complement().and(&care));
     }
@@ -65,9 +68,8 @@ fn materialize(spec: &RandomSpec) -> Materialized {
         if !any {
             continue;
         }
-        let inputs: Vec<Trit> = (0..n)
-            .map(|k| if m & (1 << k) != 0 { Trit::One } else { Trit::Zero })
-            .collect();
+        let inputs: Vec<Trit> =
+            (0..n).map(|k| if m & (1 << k) != 0 { Trit::One } else { Trit::Zero }).collect();
         pla.push(Cube::new(inputs, outs));
     }
     Materialized { pla, qs, rs }
@@ -90,73 +92,81 @@ fn assert_in_interval(name: &str, nl: &netlist::Netlist, m: &Materialized) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn bidecomp_respects_random_intervals(spec in spec_strategy()) {
-        let m = materialize(&spec);
+#[test]
+fn bidecomp_respects_random_intervals() {
+    for seed in 0..CASES {
+        let m = materialize(&random_spec(seed));
         let outcome = decompose_pla(&m.pla, &Options::default());
-        prop_assert!(outcome.verified);
+        assert!(outcome.verified, "seed {seed}");
         assert_in_interval("bidecomp", &outcome.netlist, &m);
     }
+}
 
-    #[test]
-    fn baselines_respect_random_intervals(spec in spec_strategy()) {
-        let m = materialize(&spec);
+#[test]
+fn baselines_respect_random_intervals() {
+    for seed in 0..CASES {
+        let m = materialize(&random_spec(seed));
         assert_in_interval("sis_like", &sis_like(&m.pla), &m);
         assert_in_interval("bds_like", &bds_like(&m.pla), &m);
     }
+}
 
-    #[test]
-    fn blif_roundtrip_on_random_netlists(spec in spec_strategy()) {
-        let m = materialize(&spec);
+#[test]
+fn blif_roundtrip_on_random_netlists() {
+    for seed in 0..CASES {
+        let m = materialize(&random_spec(seed));
         let outcome = decompose_pla(&m.pla, &Options::default());
         let text = outcome.netlist.to_blif("random");
         let back = netlist::Netlist::from_blif(&text).expect("roundtrip");
         let n = m.pla.num_inputs();
         for minterm in 0..1u64 << n {
             let vals: Vec<bool> = (0..n).map(|k| minterm & (1 << k) != 0).collect();
-            prop_assert_eq!(outcome.netlist.eval_all(&vals), back.eval_all(&vals));
+            assert_eq!(outcome.netlist.eval_all(&vals), back.eval_all(&vals), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn inverter_folding_preserves_random_netlists(spec in spec_strategy()) {
-        let m = materialize(&spec);
+#[test]
+fn inverter_folding_preserves_random_netlists() {
+    for seed in 0..CASES {
+        let m = materialize(&random_spec(seed));
         let outcome = decompose_pla(&m.pla, &Options::default());
         let folded = outcome.netlist.fold_inverters();
         let n = m.pla.num_inputs();
         for minterm in 0..1u64 << n {
             let vals: Vec<bool> = (0..n).map(|k| minterm & (1 << k) != 0).collect();
-            prop_assert_eq!(outcome.netlist.eval_all(&vals), folded.eval_all(&vals));
+            assert_eq!(outcome.netlist.eval_all(&vals), folded.eval_all(&vals), "seed {seed}");
         }
         // Only input inverters (which have no gate to fold into) may remain.
         for &s in &folded.live_signals() {
             if let netlist::Gate::Not(a) = folded.gate(s) {
-                prop_assert!(
+                assert!(
                     matches!(folded.gate(*a), netlist::Gate::Input(_)),
-                    "all internal inverters must fold into complement gates"
+                    "seed {seed}: all internal inverters must fold into complement gates"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn pla_text_roundtrip_random(spec in spec_strategy()) {
-        let m = materialize(&spec);
+#[test]
+fn pla_text_roundtrip_random() {
+    for seed in 0..CASES {
+        let m = materialize(&random_spec(seed));
         let text = m.pla.to_string();
         let back: Pla = text.parse().expect("own output must parse");
-        prop_assert_eq!(&m.pla, &back);
+        assert_eq!(&m.pla, &back, "seed {seed}");
     }
+}
 
-    #[test]
-    fn decomposed_netlists_are_fully_testable(spec in spec_strategy()) {
-        // Theorem 5 as a property over random ISFs (the strongest end-to-
-        // end invariant in the paper).
-        let m = materialize(&spec);
+#[test]
+fn decomposed_netlists_are_fully_testable() {
+    // Theorem 5 as a property over random ISFs (the strongest end-to-
+    // end invariant in the paper).
+    for seed in 0..CASES {
+        let m = materialize(&random_spec(seed));
         let outcome = decompose_pla(&m.pla, &Options::default());
         let report = atpg::generate_tests(&outcome.netlist);
-        prop_assert_eq!(report.redundant, 0, "redundant: {:?}", report.redundant_faults);
+        assert_eq!(report.redundant, 0, "seed {seed}: {:?}", report.redundant_faults);
     }
 }

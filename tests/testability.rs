@@ -45,13 +45,11 @@ fn random_isfs_are_fully_testable() {
         let r = f.complement().and(&care);
         let mut pla = pla::Pla::new(5, 1).with_type(pla::PlaType::Fr);
         for m in q.minterms() {
-            let ins: String =
-                (0..5).map(|k| if m & (1 << k) != 0 { '1' } else { '0' }).collect();
+            let ins: String = (0..5).map(|k| if m & (1 << k) != 0 { '1' } else { '0' }).collect();
             pla.push_str(&ins, "1");
         }
         for m in r.minterms() {
-            let ins: String =
-                (0..5).map(|k| if m & (1 << k) != 0 { '1' } else { '0' }).collect();
+            let ins: String = (0..5).map(|k| if m & (1 << k) != 0 { '1' } else { '0' }).collect();
             pla.push_str(&ins, "0");
         }
         assert_fully_testable(&format!("random-{seed}"), &pla, &Options::default());

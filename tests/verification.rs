@@ -82,13 +82,9 @@ fn blif_roundtrip_preserves_benchmark_netlists() {
         let back = Netlist::from_blif(&text).expect("parse back");
         // Spot-check equivalence by simulation on a pattern batch.
         let n = b.pla.num_inputs();
-        let patterns: Vec<u64> = (0..n).map(|k| 0x9e3779b97f4a7c15u64.rotate_left(k as u32)).collect();
-        assert_eq!(
-            outcome.netlist.simulate(&patterns),
-            back.simulate(&patterns),
-            "{}",
-            b.name
-        );
+        let patterns: Vec<u64> =
+            (0..n).map(|k| 0x9e3779b97f4a7c15u64.rotate_left(k as u32)).collect();
+        assert_eq!(outcome.netlist.simulate(&patterns), back.simulate(&patterns), "{}", b.name);
     }
 }
 
