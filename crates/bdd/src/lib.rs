@@ -51,6 +51,6 @@ mod support;
 mod varset;
 
 pub use isop::IsopCube;
-pub use manager::{Bdd, Func, ManagerSnapshot, OpStats, VarId};
+pub use manager::{Bdd, Func, ManagerSnapshot, MemReport, OpStats, VarId};
 pub use ops::BinOp;
 pub use varset::VarSet;

@@ -5,7 +5,7 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use obs::json::Json;
-use obs::Recorder;
+use obs::{Histogram, Recorder};
 
 use crate::hash::FxHashMap;
 use crate::varset::MAX_VARS;
@@ -137,6 +137,49 @@ impl OpStats {
     }
 }
 
+/// Heap footprint of the manager's three dominant allocations, in bytes
+/// (see [`Bdd::mem_report`]).
+///
+/// All figures are *capacity*-based estimates: they count what the
+/// allocator holds for the manager, not just the live entries, because
+/// retained capacity is exactly what an out-of-memory investigation needs
+/// to see. Hash-table entries are costed at `size_of::<(K, V)>() + 1`
+/// control byte per slot (the hashbrown layout). `peak_bytes` is the
+/// largest total ever *sampled* — the manager samples at every GC and
+/// callers may add samples at their own pressure points
+/// ([`Bdd::sample_mem`]) — so a spike between samples can be missed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MemReport {
+    /// Bytes held by the unique table (hash-consing map).
+    pub unique_table_bytes: usize,
+    /// Bytes held by the computed cache.
+    pub computed_cache_bytes: usize,
+    /// Bytes held by the node slab and its free list.
+    pub node_slab_bytes: usize,
+    /// Sum of the three components right now.
+    pub total_bytes: usize,
+    /// Largest `total_bytes` sampled so far (≥ `total_bytes`).
+    pub peak_bytes: usize,
+}
+
+impl MemReport {
+    /// The report as a JSON object (the `mem` section of run reports).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("unique_table_bytes", self.unique_table_bytes)
+            .field("computed_cache_bytes", self.computed_cache_bytes)
+            .field("node_slab_bytes", self.node_slab_bytes)
+            .field("total_bytes", self.total_bytes)
+            .field("peak_bytes", self.peak_bytes)
+    }
+}
+
+/// Capacity-based byte estimate of a hashbrown-backed map: one flat slot
+/// of `(K, V)` plus one control byte per usable slot.
+fn map_bytes<K, V, S>(map: &std::collections::HashMap<K, V, S>) -> usize {
+    map.capacity() * (std::mem::size_of::<(K, V)>() + 1)
+}
+
 /// A point-in-time view of the manager's tables (see
 /// [`Bdd::telemetry_snapshot`]).
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -198,6 +241,11 @@ pub struct Bdd {
     gc_runs: usize,
     op_stats: OpStats,
     recorder: Option<Recorder>,
+    /// Largest sampled heap footprint (see [`Bdd::sample_mem`]).
+    peak_mem_bytes: usize,
+    /// Per-operation latency histogram; `None` (the default) costs one
+    /// branch per public operator call.
+    op_timing: Option<Box<Histogram>>,
 }
 
 impl Bdd {
@@ -220,6 +268,8 @@ impl Bdd {
             gc_runs: 0,
             op_stats: OpStats::default(),
             recorder: None,
+            peak_mem_bytes: 0,
+            op_timing: None,
         };
         // Slots 0 and 1 are the terminals.
         mgr.nodes.push(Node { var: TERMINAL_VAR, low: Func::ZERO, high: Func::ZERO });
@@ -431,6 +481,9 @@ impl Bdd {
         let start = Instant::now();
         let nodes_before = self.total_nodes();
         let cache_entries = self.cache.len();
+        // GC entry is the moment of maximum table pressure: sample memory
+        // here so `peak_bytes` captures it.
+        let mem_before = self.sample_mem();
         self.gc_runs += 1;
         let mut marked = vec![false; self.nodes.len()];
         marked[0] = true;
@@ -472,8 +525,10 @@ impl Bdd {
                     .field("nodes_after", nodes_before - freed)
                     .field("freed", freed)
                     .field("cache_entries_dropped", cache_entries)
+                    .field("mem_bytes_before", mem_before)
                     .field("elapsed_s", elapsed.as_secs_f64()),
             );
+            self.emit_mem_gauges(rec);
         }
         freed
     }
@@ -545,6 +600,12 @@ impl Bdd {
     pub(crate) fn carry_instrumentation_from(&mut self, old: &Bdd) {
         self.recorder = old.recorder.clone();
         self.gc_runs += old.gc_runs;
+        self.peak_mem_bytes = self.peak_mem_bytes.max(old.peak_mem_bytes);
+        match (&mut self.op_timing, &old.op_timing) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, Some(theirs)) => self.op_timing = Some(theirs.clone()),
+            _ => {}
+        }
         let fresh = std::mem::take(&mut self.op_stats);
         self.op_stats = old.op_stats;
         self.op_stats.mk_calls += fresh.mk_calls;
@@ -555,6 +616,83 @@ impl Bdd {
         self.op_stats.gc_runs += fresh.gc_runs;
         self.op_stats.gc_nodes_reclaimed += fresh.gc_nodes_reclaimed;
         self.op_stats.gc_time += fresh.gc_time;
+    }
+
+    /// Current heap footprint of the three dominant allocations, in bytes
+    /// (capacity-based; see [`MemReport`]).
+    pub fn current_mem_bytes(&self) -> usize {
+        map_bytes(&self.unique)
+            + map_bytes(&self.cache)
+            + self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Samples the current footprint into the running peak and returns it.
+    ///
+    /// The manager samples automatically on every [`gc`](Bdd::gc); callers
+    /// with other pressure points (end of a build phase, per-output loop)
+    /// should sample there too, since `peak_bytes` can only see what was
+    /// sampled.
+    pub fn sample_mem(&mut self) -> usize {
+        let current = self.current_mem_bytes();
+        self.peak_mem_bytes = self.peak_mem_bytes.max(current);
+        current
+    }
+
+    /// The memory report: per-table byte estimates plus the sampled peak.
+    ///
+    /// The peak is at least the *current* total, so a caller that never
+    /// triggered a GC still gets a meaningful figure.
+    pub fn mem_report(&self) -> MemReport {
+        let unique_table_bytes = map_bytes(&self.unique);
+        let computed_cache_bytes = map_bytes(&self.cache);
+        let node_slab_bytes = self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.free.capacity() * std::mem::size_of::<u32>();
+        let total_bytes = unique_table_bytes + computed_cache_bytes + node_slab_bytes;
+        MemReport {
+            unique_table_bytes,
+            computed_cache_bytes,
+            node_slab_bytes,
+            total_bytes,
+            peak_bytes: self.peak_mem_bytes.max(total_bytes),
+        }
+    }
+
+    fn emit_mem_gauges(&self, rec: &Recorder) {
+        let mem = self.mem_report();
+        rec.gauge("bdd.mem.unique_table_bytes", mem.unique_table_bytes as f64);
+        rec.gauge("bdd.mem.computed_cache_bytes", mem.computed_cache_bytes as f64);
+        rec.gauge("bdd.mem.node_slab_bytes", mem.node_slab_bytes as f64);
+        rec.gauge("bdd.mem.total_bytes", mem.total_bytes as f64);
+        rec.gauge("bdd.mem.peak_bytes", mem.peak_bytes as f64);
+    }
+
+    /// Turns on the per-operation latency histogram: every public operator
+    /// call ([`apply`](Bdd::apply), [`not`](Bdd::not), [`ite`](Bdd::ite) and
+    /// the named wrappers) records its wall-clock duration. Off by default;
+    /// the disabled path costs one branch per call.
+    pub fn enable_op_timing(&mut self) {
+        if self.op_timing.is_none() {
+            self.op_timing = Some(Box::default());
+        }
+    }
+
+    #[inline]
+    pub(crate) fn op_timing_enabled(&self) -> bool {
+        self.op_timing.is_some()
+    }
+
+    #[inline]
+    pub(crate) fn record_op_duration(&mut self, d: Duration) {
+        if let Some(h) = &mut self.op_timing {
+            h.record(d);
+        }
+    }
+
+    /// The per-operation latency histogram, if
+    /// [`enable_op_timing`](Bdd::enable_op_timing) was called.
+    pub fn op_latency(&self) -> Option<&Histogram> {
+        self.op_timing.as_deref()
     }
 
     /// Unique-table load factor: entries over allocated capacity, in
@@ -590,6 +728,7 @@ impl Bdd {
         rec.gauge("bdd.unique.load_factor", snap.unique_load_factor);
         rec.gauge("bdd.cache.entries", snap.cache_entries as f64);
         rec.gauge("bdd.cache.hit_rate", snap.op_stats.cache_hit_rate());
+        self.emit_mem_gauges(rec);
     }
 }
 
@@ -810,6 +949,93 @@ mod tests {
         assert_eq!(rec.gauge_value("bdd.unique.load_factor"), Some(mgr.unique_load_factor()));
         // Fresh managers report a zero load factor, not NaN.
         assert_eq!(Bdd::new(1).unique_load_factor(), 0.0);
+    }
+
+    #[test]
+    fn mem_report_components_add_up_and_peak_tracks_gc() {
+        let mut mgr = Bdd::new(8);
+        let mem = mgr.mem_report();
+        assert_eq!(
+            mem.total_bytes,
+            mem.unique_table_bytes + mem.computed_cache_bytes + mem.node_slab_bytes
+        );
+        assert!(mem.node_slab_bytes > 0, "the node slab is pre-allocated");
+        assert!(mem.peak_bytes >= mem.total_bytes);
+        // Build something, then GC: the peak must cover the pre-GC footprint.
+        let mut f = mgr.one();
+        for v in 0..8 {
+            let x = mgr.var(v);
+            f = mgr.and(f, x);
+        }
+        let before_gc = mgr.current_mem_bytes();
+        mgr.protect(f);
+        mgr.gc();
+        let mem = mgr.mem_report();
+        assert!(mem.peak_bytes >= before_gc, "GC-point sample must feed the peak");
+        assert!(mem.unique_table_bytes > 0);
+        let json = mem.to_json();
+        assert_eq!(
+            json.get("peak_bytes").and_then(Json::as_f64),
+            Some(mem.peak_bytes as f64),
+            "mem JSON must mirror the struct"
+        );
+        mgr.unprotect(f);
+    }
+
+    #[test]
+    fn mem_gauges_are_published_with_the_table_gauges() {
+        let mut mgr = Bdd::new(3);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let _f = mgr.and(a, b);
+        let rec = Recorder::new();
+        mgr.set_recorder(Some(rec.clone()));
+        mgr.emit_gauges();
+        let mem = mgr.mem_report();
+        assert_eq!(rec.gauge_value("bdd.mem.total_bytes"), Some(mem.total_bytes as f64));
+        assert_eq!(rec.gauge_value("bdd.mem.peak_bytes"), Some(mem.peak_bytes as f64));
+        assert_eq!(
+            rec.gauge_value("bdd.mem.unique_table_bytes"),
+            Some(mem.unique_table_bytes as f64)
+        );
+    }
+
+    #[test]
+    fn op_timing_is_off_by_default_and_records_when_enabled() {
+        let mut mgr = Bdd::new(4);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let _ = mgr.and(a, b);
+        assert!(mgr.op_latency().is_none(), "timing must be opt-in");
+        mgr.enable_op_timing();
+        mgr.enable_op_timing(); // idempotent: must not clear samples below
+        let c = mgr.var(2);
+        let f = mgr.not(c);
+        let g = mgr.or(f, a);
+        let _ = mgr.ite(g, b, c);
+        let h = mgr.op_latency().expect("enabled");
+        assert!(h.count() >= 3, "not/or/ite calls all record, got {}", h.count());
+    }
+
+    #[test]
+    fn reorder_carries_peak_mem_and_op_timing() {
+        let mut mgr = Bdd::new(6);
+        mgr.enable_op_timing();
+        let mut f = mgr.zero();
+        for v in 0..6 {
+            let x = mgr.var(v);
+            f = mgr.or(f, x);
+        }
+        mgr.sample_mem();
+        let peak_before = mgr.mem_report().peak_bytes;
+        let samples_before = mgr.op_latency().unwrap().count();
+        assert!(samples_before > 0);
+        let reversed: Vec<VarId> = (0..6).rev().collect();
+        let roots = mgr.reorder(&reversed, &[f]);
+        assert!(mgr.mem_report().peak_bytes >= peak_before, "peak survives reorder");
+        let h = mgr.op_latency().expect("op timing survives reorder");
+        assert!(h.count() >= samples_before, "samples survive reorder");
+        assert_eq!(roots.len(), 1);
     }
 
     #[test]

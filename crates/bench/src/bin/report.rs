@@ -1,8 +1,10 @@
 //! Runs the benchmark suite and writes `BENCH_bidecomp.json`: one record
 //! per benchmark with the Table 2 columns, per-phase times, BDD op/GC
-//! counters and the §7 rates.
+//! counters, latency percentiles, memory footprint and the §7 rates.
 //!
-//! Usage: `report [OUTPUT]` (default `BENCH_bidecomp.json`).
+//! Usage: `report [--small] [OUTPUT]` (default `BENCH_bidecomp.json`).
+//! `--small` runs the quick subset (`benchmarks::small()`) — the set the
+//! CI perf gate regenerates on every push.
 
 use std::fs::File;
 use std::io::BufWriter;
@@ -12,10 +14,22 @@ use bidecomp::Options;
 use obs::json::Json;
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_bidecomp.json".to_owned());
+    let mut small = false;
+    let mut path = "BENCH_bidecomp.json".to_owned();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--small" => small = true,
+            other if !other.starts_with('-') => path = other.to_owned(),
+            _ => {
+                eprintln!("usage: report [--small] [OUTPUT]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let suite = if small { benchmarks::small() } else { benchmarks::all() };
     let options = Options::default();
     let mut records = Vec::new();
-    for b in benchmarks::all() {
+    for b in suite {
         let record = bench_record(b.name, &b.pla, &options);
         let gates = record
             .get("netlist")

@@ -2,34 +2,94 @@
 //! decompositions, component reuse (cache hits) and inessential variables
 //! across the benchmark suite.
 //!
-//! Usage: `stats [--trace-out FILE]` — with `--trace-out`, every
-//! benchmark's decomposition trace is streamed to `FILE` as JSONL (one
-//! `benchmark` marker point per benchmark, then one `trace` point per
-//! recursive call).
+//! Usage: `stats [--trace-out FILE] [--chrome-trace FILE] [--flame FILE]
+//! [--pla FILE]`
+//!
+//! * `--trace-out` streams every benchmark's decomposition trace to
+//!   `FILE` as JSONL (one `benchmark` marker point per benchmark, then
+//!   one `trace` point per recursive call).
+//! * `--chrome-trace` writes the run's span tree as Chrome `trace_event`
+//!   JSON — load it in `chrome://tracing` or Perfetto.
+//! * `--flame` writes the span tree as collapsed stacks for
+//!   `flamegraph.pl` / speedscope.
+//! * `--pla` runs a single PLA file instead of the built-in suite.
 
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
 
 use bidecomp::{Options, Stats};
 use obs::json::Json;
+use obs::profile::{Profile, ProfileSink};
 use obs::report::{pct, pct2};
-use obs::{Event, JsonlSink, Sink as _};
+use obs::{Event, JsonlSink, Recorder, Sink as _};
+use pla::Pla;
+
+struct Args {
+    trace_out: Option<String>,
+    chrome_trace: Option<String>,
+    flame: Option<String>,
+    pla: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: stats [--trace-out FILE] [--chrome-trace FILE] [--flame FILE] [--pla FILE]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { trace_out: None, chrome_trace: None, flame: None, pla: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let slot = match flag.as_str() {
+            "--trace-out" => &mut args.trace_out,
+            "--chrome-trace" => &mut args.chrome_trace,
+            "--flame" => &mut args.flame,
+            "--pla" => &mut args.pla,
+            _ => usage(),
+        };
+        match it.next() {
+            Some(value) => *slot = Some(value),
+            None => usage(),
+        }
+    }
+    args
+}
+
+fn write_file(path: &str, contents: &str) {
+    std::fs::write(path, contents).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let trace_out = match args.as_slice() {
-        [] => None,
-        [flag, path] if flag == "--trace-out" => Some(path.clone()),
-        _ => {
-            eprintln!("usage: stats [--trace-out FILE]");
-            std::process::exit(2);
-        }
-    };
-    let mut trace_sink = trace_out.as_ref().map(|path| {
+    let args = parse_args();
+    let mut trace_sink = args.trace_out.as_ref().map(|path| {
         let file = File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
         JsonlSink::new(BufWriter::new(file))
     });
-    let options = Options { trace: trace_out.is_some(), ..Options::default() };
+    let options = Options { trace: args.trace_out.is_some(), ..Options::default() };
+
+    // The profile exporters share one recorder: each benchmark contributes
+    // one `decompose_pla` root to the span forest.
+    let profiling = args.chrome_trace.is_some() || args.flame.is_some();
+    let profile_sink = profiling.then(ProfileSink::new);
+    let recorder = profile_sink.as_ref().map(|sink| {
+        let rec = Recorder::new();
+        rec.add_sink(Box::new(sink.clone()));
+        rec
+    });
+
+    let suite: Vec<(String, Pla)> = match &args.pla {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let pla: Pla = text.parse().unwrap_or_else(|e| panic!("{path}: {e}"));
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
+            vec![(name, pla)]
+        }
+        None => benchmarks::all().into_iter().map(|b| (b.name.to_owned(), b.pla)).collect(),
+    };
 
     println!("Per-benchmark decomposition statistics (paper §7):");
     println!(
@@ -37,12 +97,12 @@ fn main() {
         "name", "calls", "weak%", "cache%", "inessent.%", "shannon"
     );
     let mut merged = Stats::default();
-    for b in benchmarks::all() {
-        let (_, outcome) = bench::run_bidecomp(b.name, &b.pla, &options);
+    for (name, pla) in &suite {
+        let outcome = bidecomp::decompose_pla_with_recorder(pla, &options, recorder.clone());
         let s = outcome.stats;
         println!(
             "{:8} {:>7} {:>9} {:>9} {:>11} {:>12}",
-            b.name,
+            name,
             s.calls,
             pct(s.weak_rate()),
             pct(s.cache_hit_rate()),
@@ -53,7 +113,7 @@ fn main() {
         if let Some(sink) = &mut trace_sink {
             sink.accept(&Event::Point {
                 name: "benchmark".to_owned(),
-                fields: Json::obj().field("name", b.name),
+                fields: Json::obj().field("name", name.as_str()),
             });
             for event in &outcome.trace {
                 sink.accept(&event.to_point());
@@ -61,9 +121,18 @@ fn main() {
         }
     }
     if let Some(sink) = trace_sink {
-        let path = trace_out.expect("set together with the sink");
+        let path = args.trace_out.expect("set together with the sink");
         sink.into_inner().flush().unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("trace written to {path}");
+    }
+    if let Some(sink) = &profile_sink {
+        let profile = Profile::from_events(&sink.events());
+        if let Some(path) = &args.chrome_trace {
+            write_file(path, &profile.chrome_trace().render());
+        }
+        if let Some(path) = &args.flame {
+            write_file(path, &profile.collapsed_stacks());
+        }
     }
     println!();
     println!("Suite totals:\n{merged}");

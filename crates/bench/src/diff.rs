@@ -1,0 +1,342 @@
+//! Comparing two `BENCH_bidecomp.json` documents: the perf-regression
+//! gate.
+//!
+//! [`diff_reports`] pairs the records of a baseline and a current report
+//! by benchmark name and computes per-benchmark deltas of the columns that
+//! matter for the paper's claims: wall-clock time, gate count, logic
+//! levels, peak BDD nodes, and peak manager bytes. A configurable
+//! [`Thresholds`] decides which deltas count as regressions; the `diff`
+//! binary renders the table and exits non-zero when any survive, which is
+//! what CI gates on.
+
+use obs::json::Json;
+
+/// Regression thresholds for [`diff_reports`].
+#[derive(Clone, Copy, Debug)]
+pub struct Thresholds {
+    /// Allowed fractional time increase (0.10 = 10%). Times are noisy:
+    /// CI passes a much larger value than the local default.
+    pub max_time_regress: f64,
+    /// Allowed fractional gate-count increase (0.0 = any growth fails).
+    /// Gate counts are deterministic, so the default is strict.
+    pub max_gates_regress: f64,
+    /// Benchmarks faster than this (in *both* reports) skip the time
+    /// check: sub-threshold runs are dominated by clock noise.
+    pub min_time_s: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds { max_time_regress: 0.10, max_gates_regress: 0.0, min_time_s: 0.01 }
+    }
+}
+
+/// One benchmark's columns from both reports, plus the verdict.
+#[derive(Clone, Debug)]
+pub struct DiffRow {
+    /// Benchmark name (the pairing key).
+    pub name: String,
+    /// Wall-clock seconds in the baseline / current report.
+    pub time: (f64, f64),
+    /// Two-input gates.
+    pub gates: (f64, f64),
+    /// Logic levels (cascades).
+    pub levels: (f64, f64),
+    /// Peak live BDD nodes.
+    pub peak_nodes: (f64, f64),
+    /// Peak sampled manager bytes (0 when a report predates the `mem`
+    /// section).
+    pub peak_bytes: (f64, f64),
+    /// Human-readable reasons this row regressed (empty = clean).
+    pub regressions: Vec<String>,
+}
+
+/// The full comparison of two report documents.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Paired records, in baseline order.
+    pub rows: Vec<DiffRow>,
+    /// Benchmarks present only in the baseline (treated as regressions:
+    /// coverage must not silently shrink).
+    pub only_in_baseline: Vec<String>,
+    /// Benchmarks present only in the current report (informational).
+    pub only_in_current: Vec<String>,
+}
+
+impl DiffReport {
+    /// Does anything fail the thresholds?
+    pub fn has_regressions(&self) -> bool {
+        !self.only_in_baseline.is_empty() || self.rows.iter().any(|r| !r.regressions.is_empty())
+    }
+
+    /// All regression messages, one line each.
+    pub fn regressions(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .only_in_baseline
+            .iter()
+            .map(|n| format!("{n}: present in the baseline but missing from the current report"))
+            .collect();
+        for row in &self.rows {
+            for reason in &row.regressions {
+                out.push(format!("{}: {}", row.name, reason));
+            }
+        }
+        out
+    }
+
+    /// Renders the delta table (baseline → current, one benchmark per
+    /// line, a `!` marker on regressed rows).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:10} {:>8} {:>8} {:>7} | {:>6} {:>6} | {:>4} {:>4} | {:>9} {:>9} | {:>9} {:>9}\n",
+            "name",
+            "time_a,s",
+            "time_b,s",
+            "Δtime",
+            "gates",
+            "gates",
+            "lvl",
+            "lvl",
+            "nodes",
+            "nodes",
+            "bytes",
+            "bytes",
+        ));
+        for row in &self.rows {
+            let (ta, tb) = row.time;
+            let dt = if ta > 0.0 { format!("{:+.0}%", (tb - ta) / ta * 100.0) } else { "-".into() };
+            let mark = if row.regressions.is_empty() { ' ' } else { '!' };
+            out.push_str(&format!(
+                "{:10} {:>8.3} {:>8.3} {:>7} | {:>6} {:>6} | {:>4} {:>4} | {:>9} {:>9} | {:>9} {:>9} {}\n",
+                row.name,
+                ta,
+                tb,
+                dt,
+                row.gates.0,
+                row.gates.1,
+                row.levels.0,
+                row.levels.1,
+                row.peak_nodes.0 as u64,
+                row.peak_nodes.1 as u64,
+                row.peak_bytes.0 as u64,
+                row.peak_bytes.1 as u64,
+                mark,
+            ));
+        }
+        for name in &self.only_in_baseline {
+            out.push_str(&format!("{name:10} missing from the current report !\n"));
+        }
+        for name in &self.only_in_current {
+            out.push_str(&format!("{name:10} new in the current report\n"));
+        }
+        out
+    }
+}
+
+/// The comparison columns of one record.
+struct Cols {
+    time: f64,
+    gates: f64,
+    levels: f64,
+    peak_nodes: f64,
+    peak_bytes: f64,
+}
+
+fn num(record: &Json, section: Option<&str>, key: &str) -> f64 {
+    let holder = match section {
+        Some(s) => match record.get(s) {
+            Some(h) => h,
+            None => return 0.0,
+        },
+        None => record,
+    };
+    holder.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn cols(record: &Json) -> Cols {
+    Cols {
+        time: num(record, None, "time_s"),
+        gates: num(record, Some("netlist"), "gates"),
+        levels: num(record, Some("netlist"), "cascades"),
+        peak_nodes: num(record, Some("bdd"), "peak_nodes"),
+        peak_bytes: num(record, Some("mem"), "peak_bytes"),
+    }
+}
+
+fn records(doc: &Json) -> Result<Vec<(String, &Json)>, String> {
+    let records = doc
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or("document has no records array (not a bench report?)")?;
+    records
+        .iter()
+        .map(|r| {
+            let name = r
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("record without a name field")?
+                .to_owned();
+            Ok((name, r))
+        })
+        .collect()
+}
+
+/// Pairs the records of `baseline` and `current` by name and applies the
+/// thresholds.
+///
+/// # Errors
+///
+/// Returns a message when either document is not a bench report (no
+/// `records` array, or records without names). Schema *versions* are not
+/// required to match: columns a report lacks compare as 0 and only the
+/// thresholded columns can fail the gate.
+pub fn diff_reports(
+    baseline: &Json,
+    current: &Json,
+    thresholds: &Thresholds,
+) -> Result<DiffReport, String> {
+    let base = records(baseline)?;
+    let cur = records(current)?;
+    let mut report = DiffReport::default();
+    for (name, b_rec) in &base {
+        let Some((_, c_rec)) = cur.iter().find(|(n, _)| n == name) else {
+            report.only_in_baseline.push(name.clone());
+            continue;
+        };
+        let a = cols(b_rec);
+        let b = cols(c_rec);
+        let mut regressions = Vec::new();
+        if (a.time >= thresholds.min_time_s || b.time >= thresholds.min_time_s)
+            && b.time > a.time * (1.0 + thresholds.max_time_regress)
+        {
+            regressions.push(format!(
+                "time {:.3}s → {:.3}s exceeds the +{:.0}% budget",
+                a.time,
+                b.time,
+                thresholds.max_time_regress * 100.0
+            ));
+        }
+        if b.gates > a.gates * (1.0 + thresholds.max_gates_regress) {
+            regressions.push(format!(
+                "gates {} → {} exceeds the +{:.0}% budget",
+                a.gates,
+                b.gates,
+                thresholds.max_gates_regress * 100.0
+            ));
+        }
+        report.rows.push(DiffRow {
+            name: name.clone(),
+            time: (a.time, b.time),
+            gates: (a.gates, b.gates),
+            levels: (a.levels, b.levels),
+            peak_nodes: (a.peak_nodes, b.peak_nodes),
+            peak_bytes: (a.peak_bytes, b.peak_bytes),
+            regressions,
+        });
+    }
+    for (name, _) in &cur {
+        if !base.iter().any(|(n, _)| n == name) {
+            report.only_in_current.push(name.clone());
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, time: f64, gates: u64) -> Json {
+        Json::obj()
+            .field("name", name)
+            .field("time_s", time)
+            .field("netlist", Json::obj().field("gates", gates).field("cascades", 3u64))
+            .field("bdd", Json::obj().field("peak_nodes", 100u64))
+            .field("mem", Json::obj().field("peak_bytes", 4096u64))
+    }
+
+    fn doc(records: Vec<Json>) -> Json {
+        Json::obj().field("schema", "bidecomp-bench/v2").field("records", Json::Arr(records))
+    }
+
+    #[test]
+    fn identical_reports_are_clean() {
+        let a = doc(vec![record("rd73", 0.5, 40), record("alu2", 1.0, 120)]);
+        let diff = diff_reports(&a, &a, &Thresholds::default()).expect("valid docs");
+        assert!(!diff.has_regressions());
+        assert_eq!(diff.rows.len(), 2);
+        assert!(diff.regressions().is_empty());
+        let table = diff.render();
+        assert!(table.contains("rd73") && table.contains("alu2"));
+        assert!(!table.contains('!'), "no regression markers on clean diffs");
+    }
+
+    #[test]
+    fn time_inflation_past_threshold_regresses() {
+        let a = doc(vec![record("rd73", 0.5, 40)]);
+        let b = doc(vec![record("rd73", 0.6, 40)]);
+        let diff = diff_reports(&a, &b, &Thresholds::default()).expect("valid");
+        assert!(diff.has_regressions(), "+20% time against a 10% budget");
+        assert!(diff.regressions()[0].contains("time"));
+        // A looser budget accepts the same delta.
+        let loose = Thresholds { max_time_regress: 0.5, ..Thresholds::default() };
+        assert!(!diff_reports(&a, &b, &loose).expect("valid").has_regressions());
+    }
+
+    #[test]
+    fn sub_floor_times_are_ignored() {
+        let a = doc(vec![record("tiny", 0.001, 5)]);
+        let b = doc(vec![record("tiny", 0.004, 5)]);
+        // 4× slower, but both under the 10 ms floor: noise, not signal.
+        assert!(!diff_reports(&a, &b, &Thresholds::default()).expect("valid").has_regressions());
+        // Crossing the floor re-arms the check.
+        let b = doc(vec![record("tiny", 0.1, 5)]);
+        assert!(diff_reports(&a, &b, &Thresholds::default()).expect("valid").has_regressions());
+    }
+
+    #[test]
+    fn gate_growth_is_strict_by_default() {
+        let a = doc(vec![record("rd73", 0.5, 40)]);
+        let b = doc(vec![record("rd73", 0.5, 41)]);
+        let diff = diff_reports(&a, &b, &Thresholds::default()).expect("valid");
+        assert!(diff.has_regressions(), "one extra gate fails the 0% budget");
+        assert!(diff.regressions()[0].contains("gates"));
+        // Gate *improvements* never fail.
+        let b = doc(vec![record("rd73", 0.5, 39)]);
+        assert!(!diff_reports(&a, &b, &Thresholds::default()).expect("valid").has_regressions());
+    }
+
+    #[test]
+    fn missing_benchmarks_fail_new_ones_do_not() {
+        let a = doc(vec![record("rd73", 0.5, 40), record("alu2", 1.0, 120)]);
+        let b = doc(vec![record("rd73", 0.5, 40), record("t481", 2.0, 30)]);
+        let diff = diff_reports(&a, &b, &Thresholds::default()).expect("valid");
+        assert_eq!(diff.only_in_baseline, vec!["alu2"]);
+        assert_eq!(diff.only_in_current, vec!["t481"]);
+        assert!(diff.has_regressions(), "lost coverage is a regression");
+        assert!(diff.render().contains("missing from the current report"));
+    }
+
+    #[test]
+    fn v1_reports_without_mem_compare_as_zero() {
+        let strip = |mut r: Json| {
+            if let Json::Obj(fields) = &mut r {
+                fields.retain(|(k, _)| k != "mem");
+            }
+            r
+        };
+        let a = doc(vec![strip(record("rd73", 0.5, 40))]);
+        let b = doc(vec![record("rd73", 0.5, 40)]);
+        let diff = diff_reports(&a, &b, &Thresholds::default()).expect("v1 docs still diff");
+        assert!(!diff.has_regressions());
+        assert_eq!(diff.rows[0].peak_bytes.0, 0.0);
+        assert!(diff.rows[0].peak_bytes.1 > 0.0);
+    }
+
+    #[test]
+    fn non_reports_are_rejected() {
+        let junk = Json::obj().field("hello", "world");
+        assert!(diff_reports(&junk, &junk, &Thresholds::default()).is_err());
+    }
+}

@@ -9,6 +9,8 @@
 //!   reuse rate, inessential-variable rate) over the whole suite.
 //! * `report` — the whole suite as one machine-readable JSON document
 //!   (`BENCH_bidecomp.json`, see [`report`]).
+//! * `diff` — compares two report documents and exits non-zero on
+//!   regression (see [`diff`]): the CI perf gate.
 //!
 //! The benches under `benches/` time the same computations with the
 //! dependency-free [`obs::bench`] harness.
@@ -16,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod report;
 
 use std::time::Instant;

@@ -15,7 +15,10 @@ use obs::json::Json;
 use pla::Pla;
 
 /// Schema identifier stamped on every report document.
-pub const REPORT_SCHEMA: &str = "bidecomp-bench/v1";
+///
+/// v2 added the `percentiles` (per-output / per-BDD-op latency) and `mem`
+/// (manager heap footprint) sections between `bdd` and `decomp`.
+pub const REPORT_SCHEMA: &str = "bidecomp-bench/v2";
 
 /// Runs BI-DECOMP on one benchmark (with telemetry on, so the
 /// recursion-depth histogram is populated) and builds its report record.
@@ -50,6 +53,17 @@ pub fn record_from_outcome(name: &str, outcome: &DecompOutcome) -> Json {
                 .field("gc_nodes_reclaimed", op.gc_nodes_reclaimed)
                 .field("gc_time_s", op.gc_time.as_secs_f64()),
         )
+        .field(
+            "percentiles",
+            Json::obj().field("output_latency", outcome.output_latency.to_json()).field(
+                "op_latency",
+                match &outcome.op_latency {
+                    Some(h) => h.to_json(),
+                    None => Json::Null,
+                },
+            ),
+        )
+        .field("mem", outcome.mem.to_json())
         .field(
             "decomp",
             Json::obj()
@@ -115,6 +129,16 @@ mod tests {
         assert!(decomp.get("calls").and_then(Json::as_f64).unwrap() >= 1.0);
         let histogram = decomp.get("depth_histogram").and_then(Json::as_arr).expect("histogram");
         assert!(!histogram.is_empty(), "telemetry is forced on for records");
+        let pct = record.get("percentiles").expect("percentiles section");
+        let out_lat = pct.get("output_latency").expect("output latency summary");
+        assert_eq!(out_lat.get("count").and_then(Json::as_f64), Some(1.0), "one output");
+        let op_lat = pct.get("op_latency").expect("op latency summary");
+        assert!(
+            op_lat.get("count").and_then(Json::as_f64).unwrap() > 0.0,
+            "telemetry forces op timing on"
+        );
+        let mem = record.get("mem").expect("mem section");
+        assert!(mem.get("peak_bytes").and_then(Json::as_f64).unwrap() > 0.0);
     }
 
     #[test]

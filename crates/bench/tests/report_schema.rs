@@ -1,13 +1,14 @@
 //! Golden test for the `BENCH_bidecomp.json` schema: the document the
 //! `report` binary writes must parse with the workspace JSON parser and
-//! keep the `bidecomp-bench/v1` record shape stable.
+//! keep the `bidecomp-bench/v2` record shape stable.
 
 use bench::report::{bench_record, report_document, write_report, REPORT_SCHEMA};
 use bidecomp::Options;
 use obs::json::Json;
 
 /// The top-level keys of one record, in schema order.
-const RECORD_KEYS: [&str; 6] = ["name", "verified", "time_s", "netlist", "phases", "bdd"];
+const RECORD_KEYS: [&str; 8] =
+    ["name", "verified", "time_s", "netlist", "phases", "bdd", "percentiles", "mem"];
 const NETLIST_KEYS: [&str; 8] =
     ["inputs", "outputs", "gates", "exors", "inverters", "cascades", "area", "delay"];
 const PHASE_KEYS: [&str; 4] = ["ordering_s", "bdd_build_s", "decompose_s", "verify_s"];
@@ -23,6 +24,10 @@ const BDD_KEYS: [&str; 10] = [
     "gc_nodes_reclaimed",
     "gc_time_s",
 ];
+const PERCENTILE_KEYS: [&str; 2] = ["output_latency", "op_latency"];
+const LATENCY_KEYS: [&str; 6] = ["count", "mean_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns"];
+const MEM_KEYS: [&str; 5] =
+    ["unique_table_bytes", "computed_cache_bytes", "node_slab_bytes", "total_bytes", "peak_bytes"];
 const DECOMP_KEYS: [&str; 13] = [
     "calls",
     "cache_hits",
@@ -51,7 +56,7 @@ fn suite_document() -> Json {
 }
 
 #[test]
-fn report_document_matches_the_v1_schema() {
+fn report_document_matches_the_v2_schema() {
     let document = suite_document();
     let mut bytes = Vec::new();
     write_report(&document, &mut bytes).expect("in-memory write");
@@ -71,11 +76,38 @@ fn report_document_matches_the_v1_schema() {
             ("netlist", &NETLIST_KEYS[..]),
             ("phases", &PHASE_KEYS[..]),
             ("bdd", &BDD_KEYS[..]),
+            ("percentiles", &PERCENTILE_KEYS[..]),
+            ("mem", &MEM_KEYS[..]),
             ("decomp", &DECOMP_KEYS[..]),
         ] {
             let obj = record.get(section).unwrap_or_else(|| panic!("{section} section"));
             assert_eq!(obj.keys(), wanted, "{section} keys drifted");
         }
+        // v2: both latency summaries carry the histogram shape, with
+        // internally consistent percentiles.
+        let pct = record.get("percentiles").expect("percentiles");
+        for kind in PERCENTILE_KEYS {
+            let summary = pct.get(kind).unwrap_or_else(|| panic!("{kind} summary"));
+            assert_eq!(summary.keys(), LATENCY_KEYS, "{kind} histogram keys drifted");
+            let get = |k: &str| summary.get(k).and_then(Json::as_f64).expect("numeric");
+            assert!(get("count") > 0.0, "{kind} must have samples (telemetry is on)");
+            assert!(get("p50_ns") <= get("p90_ns"));
+            assert!(get("p90_ns") <= get("p99_ns"));
+            assert!(get("p99_ns") <= get("max_ns"));
+        }
+        let out_count =
+            pct.get("output_latency").and_then(|s| s.get("count")).and_then(Json::as_f64);
+        let outputs = record.get("netlist").and_then(|n| n.get("outputs")).and_then(Json::as_f64);
+        assert_eq!(out_count, outputs, "per-output latency has one sample per PLA output");
+        // v2: the mem section adds up and the peak bounds the total.
+        let mem = record.get("mem").expect("mem");
+        let get = |k: &str| mem.get(k).and_then(Json::as_f64).expect("numeric");
+        assert_eq!(
+            get("total_bytes"),
+            get("unique_table_bytes") + get("computed_cache_bytes") + get("node_slab_bytes"),
+            "mem components must sum to the total"
+        );
+        assert!(get("peak_bytes") >= get("total_bytes"));
         // Spot-check semantics, not just shape.
         assert_eq!(record.get("verified").and_then(Json::as_bool), Some(true));
         let decomp = record.get("decomp").expect("decomp");

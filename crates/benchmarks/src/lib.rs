@@ -34,4 +34,4 @@ pub use cube_gen::{structured_pla, SynthSpec};
 pub use exact::{alu, pla_from_fn, rate_pla, symmetric_pla};
 pub use expr_gen::{expression_pla, ExprSpec};
 pub use rng::SplitMix64;
-pub use suite::{all, by_name, table2, table3, Benchmark, Provenance};
+pub use suite::{all, by_name, small, table2, table3, Benchmark, Provenance};

@@ -253,9 +253,29 @@ pub fn all() -> Vec<Benchmark> {
     names.iter().map(|n| by_name(n).expect("known")).collect()
 }
 
+/// The quick subset: members that decompose in well under a second each,
+/// for CI perf gates and smoke tests where running [`all`] is too slow.
+pub fn small() -> Vec<Benchmark> {
+    ["con1", "misex1", "rd73", "rd84", "9sym", "alu2", "5xp1"]
+        .iter()
+        .map(|n| by_name(n).expect("small names are known"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn small_is_a_subset_of_all() {
+        let all_names: Vec<&str> = all().iter().map(|b| b.name).collect();
+        let small = small();
+        assert!(!small.is_empty());
+        for b in &small {
+            assert!(all_names.contains(&b.name), "{} must be a suite member", b.name);
+            assert!(b.pla.num_inputs() <= 10, "{} is not small", b.name);
+        }
+    }
 
     #[test]
     fn table2_shapes_match_the_paper() {

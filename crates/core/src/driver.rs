@@ -7,10 +7,10 @@
 
 use std::time::{Duration, Instant};
 
-use bdd::{reorder, Bdd, Func, OpStats};
+use bdd::{reorder, Bdd, Func, MemReport, OpStats};
 use netlist::Netlist;
 use obs::json::Json;
-use obs::Recorder;
+use obs::{Histogram, Recorder};
 use pla::{Pla, Trit};
 
 use crate::{verify, Decomposer, Isf, Options, Stats};
@@ -68,6 +68,18 @@ pub struct DecompOutcome {
     /// The decomposition trace (one event per recursive call). Empty
     /// unless [`Options::trace`] is on.
     pub trace: Vec<crate::trace::TraceEvent>,
+    /// Latency distribution of the per-output `decompose` calls (one
+    /// sample per PLA output; always populated, it costs one clock read
+    /// per output).
+    pub output_latency: Histogram,
+    /// Per-BDD-operation latency distribution. `None` unless
+    /// [`Options::telemetry`] is on or a recorder was attached (timing
+    /// every operator call is not free).
+    pub op_latency: Option<Histogram>,
+    /// BDD manager heap footprint: per-table byte estimates and the peak
+    /// sampled across the run (at every GC, after every output, and at
+    /// the end).
+    pub mem: MemReport,
 }
 
 /// Builds the specification ISFs of every PLA output inside `mgr`.
@@ -173,7 +185,11 @@ pub fn decompose_pla_with_recorder(
     if let Some(rec) = &recorder {
         dec.set_recorder(rec.clone());
     }
+    if options.telemetry || recorder.is_some() {
+        dec.manager().enable_op_timing();
+    }
     let mut phases = PhaseTimes::default();
+    let mut output_latency = Histogram::new();
 
     let t = Instant::now();
     {
@@ -200,10 +216,13 @@ pub fn decompose_pla_with_recorder(
         for (k, isf) in isfs.iter().enumerate() {
             let _out_span =
                 recorder.as_ref().map(|r| r.span(format!("output.{}", output_names[k])));
+            let out_start = Instant::now();
             let comp = dec.decompose(*isf);
+            output_latency.record(out_start.elapsed());
             dec.add_output(output_names[k].clone(), comp);
             components.push(comp);
             peak_nodes = peak_nodes.max(dec.manager().total_nodes());
+            dec.manager().sample_mem();
             if dec.manager().total_nodes() > options.gc_threshold {
                 // Keep the remaining specifications and finished components.
                 let mut roots: Vec<Func> = components.iter().map(|c| c.func).collect();
@@ -238,6 +257,7 @@ pub fn decompose_pla_with_recorder(
     phases.verify = t.elapsed();
 
     peak_nodes = peak_nodes.max(mgr.total_nodes());
+    mgr.sample_mem();
     mgr.emit_gauges();
     drop(run_span);
     if let Some(rec) = &recorder {
@@ -253,6 +273,9 @@ pub fn decompose_pla_with_recorder(
         op_stats: mgr.op_stats(),
         depth_histogram,
         trace,
+        output_latency,
+        op_latency: mgr.op_latency().cloned(),
+        mem: mgr.mem_report(),
     }
 }
 
@@ -401,6 +424,30 @@ mod tests {
             with_telemetry.depth_histogram.iter().sum::<u64>(),
             with_telemetry.stats.calls as u64
         );
+    }
+
+    #[test]
+    fn latency_and_mem_fields_are_populated() {
+        let pla: Pla = ".i 3\n.o 2\n111 10\n-11 01\n.e\n".parse().expect("valid");
+        let outcome = decompose_pla(&pla, &Options::default());
+        // One latency sample per PLA output, unconditionally.
+        assert_eq!(outcome.output_latency.count(), 2);
+        assert!(outcome.output_latency.max_ns() <= outcome.elapsed.as_nanos() as u64);
+        // Memory accounting is always on; per-op timing is the telemetry
+        // opt-in.
+        assert!(outcome.mem.total_bytes > 0);
+        assert!(outcome.mem.peak_bytes >= outcome.mem.total_bytes);
+        assert_eq!(
+            outcome.mem.total_bytes,
+            outcome.mem.unique_table_bytes
+                + outcome.mem.computed_cache_bytes
+                + outcome.mem.node_slab_bytes
+        );
+        assert!(outcome.op_latency.is_none());
+        let outcome = decompose_pla(&pla, &Options { telemetry: true, ..Options::default() });
+        let ops = outcome.op_latency.as_ref().expect("telemetry enables op timing");
+        assert!(ops.count() > 0, "manager operators must have recorded samples");
+        assert!(ops.p50_ns() <= ops.p99_ns() && ops.p99_ns() <= ops.max_ns());
     }
 
     #[test]

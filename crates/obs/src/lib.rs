@@ -10,6 +10,10 @@
 //!   [`MemorySink`] captures events for tests.
 //! * [`json`] — a hand-rolled JSON value (writer *and* parser) used for
 //!   the machine-readable `BENCH_*.json` run reports.
+//! * [`Histogram`] — a log-bucketed latency histogram (`record_ns`,
+//!   p50/p90/p99/max) embedded in run reports.
+//! * [`profile`] — span-tree exporters: Chrome `trace_event` JSON and
+//!   collapsed-stack flamegraph text.
 //! * [`report`] — the shared rate/percentage formatting helpers.
 //! * [`bench`] — a small micro-benchmark harness (criterion substitute).
 //!
@@ -37,11 +41,14 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+mod hist;
 pub mod json;
+pub mod profile;
 mod recorder;
 pub mod report;
 mod sink;
 
+pub use hist::Histogram;
 pub use recorder::{Recorder, Span};
 pub use sink::{Event, JsonlSink, MemorySink, SharedBuf, Sink, TextSink};
 
@@ -151,6 +158,33 @@ mod tests {
         assert_eq!(lines.len(), 1, "escaping must keep one record per line");
         let parsed = Json::parse(lines[0]).expect("escaped record parses");
         assert_eq!(parsed.get("name").unwrap().as_str(), Some(hostile));
+    }
+
+    #[test]
+    fn sinks_flush_buffered_output_on_drop() {
+        use std::io::BufWriter;
+        let buf = SharedBuf::new();
+        {
+            let rec = Recorder::new();
+            let writer = BufWriter::with_capacity(1 << 16, buf.clone());
+            rec.add_sink(Box::new(JsonlSink::new(writer)));
+            rec.count("n", 1);
+            // The record is still sitting in the BufWriter.
+            assert_eq!(buf.contents(), "");
+            // `rec` (and with it the sink) drops here without an explicit
+            // flush — as a process exiting mid-run would.
+        }
+        let text = buf.contents();
+        assert!(text.contains("counter"), "JsonlSink must flush on drop, got {text:?}");
+        assert!(json::Json::parse(text.lines().next().unwrap()).is_ok());
+
+        let buf = SharedBuf::new();
+        {
+            let rec = Recorder::new();
+            rec.add_sink(Box::new(TextSink::new(BufWriter::with_capacity(1 << 16, buf.clone()))));
+            rec.count("n", 2);
+        }
+        assert!(buf.contents().contains("n += 2"), "TextSink must flush on drop");
     }
 
     #[test]

@@ -96,6 +96,9 @@ pub trait Sink {
 }
 
 /// Human-readable sink: one indented line per event.
+///
+/// Flushes its writer when dropped, so buffered output survives a process
+/// that never calls [`Recorder::flush`](crate::Recorder::flush).
 pub struct TextSink<W: Write> {
     out: W,
 }
@@ -104,6 +107,12 @@ impl<W: Write> TextSink<W> {
     /// Creates a text sink writing to `out`.
     pub fn new(out: W) -> Self {
         TextSink { out }
+    }
+}
+
+impl<W: Write> Drop for TextSink<W> {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
     }
 }
 
@@ -134,30 +143,48 @@ impl<W: Write> Sink for TextSink<W> {
 }
 
 /// Machine-readable sink: one compact JSON object per line (JSONL).
+///
+/// Flushes its writer when dropped, so a `--trace-out` file behind a
+/// `BufWriter` is complete even when the process exits without an
+/// explicit flush.
 pub struct JsonlSink<W: Write> {
-    out: W,
+    // `None` only after `into_inner` moved the writer out (the drop-flush
+    // and `Drop` forbid a plain field move).
+    out: Option<W>,
 }
 
 impl<W: Write> JsonlSink<W> {
     /// Creates a JSONL sink writing to `out`.
     pub fn new(out: W) -> Self {
-        JsonlSink { out }
+        JsonlSink { out: Some(out) }
     }
 
     /// Consumes the sink, returning the writer (so callers can flush it
     /// fallibly or hand it back).
-    pub fn into_inner(self) -> W {
-        self.out
+    pub fn into_inner(mut self) -> W {
+        self.out.take().expect("writer is present until into_inner")
     }
 }
 
 impl<W: Write> Sink for JsonlSink<W> {
     fn accept(&mut self, event: &Event) {
-        let _ = writeln!(self.out, "{}", event.to_json().render());
+        if let Some(out) = &mut self.out {
+            let _ = writeln!(out, "{}", event.to_json().render());
+        }
     }
 
     fn flush(&mut self) {
-        let _ = self.out.flush();
+        if let Some(out) = &mut self.out {
+            let _ = out.flush();
+        }
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if let Some(out) = &mut self.out {
+            let _ = out.flush();
+        }
     }
 }
 
