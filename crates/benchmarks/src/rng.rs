@@ -58,6 +58,15 @@ impl SplitMix64 {
     pub fn fork(&mut self) -> SplitMix64 {
         SplitMix64::new(self.next_u64())
     }
+
+    /// In-place Fisher–Yates shuffle driven by this stream (used by the
+    /// fuzz harness for variable permutations and shrink chunk orders).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range(i + 1);
+            items.swap(i, j);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -117,5 +126,21 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn zero_range_panics() {
         let _ = SplitMix64::new(0).gen_range(0);
+    }
+
+    #[test]
+    fn shuffle_permutes_and_is_deterministic() {
+        let mut a: Vec<usize> = (0..16).collect();
+        let mut b = a.clone();
+        SplitMix64::new(5).shuffle(&mut a);
+        SplitMix64::new(5).shuffle(&mut b);
+        assert_eq!(a, b, "equal seeds shuffle identically");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>(), "still a permutation");
+        assert_ne!(a, sorted, "16 elements virtually never stay sorted");
+        // Degenerate slices must not panic.
+        SplitMix64::new(1).shuffle::<usize>(&mut []);
+        SplitMix64::new(1).shuffle(&mut [1]);
     }
 }

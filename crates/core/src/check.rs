@@ -4,9 +4,33 @@
 //! quantifier cubes internally; the caller can also use the `_cubes`
 //! variants inside grouping loops to reuse pre-built cubes.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use bdd::{Bdd, Func, VarId, VarSet};
 
 use crate::Isf;
+
+/// Deliberate-fault switch used by the differential fuzz harness to prove
+/// it can catch real bugs: when enabled, [`or_decomposable_cubes`]
+/// quantifies the `X_B` side of Theorem 1 universally instead of
+/// existentially. `∀X_B R ⊆ ∃X_B R`, so the intersection with `∃X_A R`
+/// shrinks and the check wrongly *accepts* groupings the true condition
+/// rejects, producing components that violate the `[Q, ¬R]` interval.
+///
+/// Process-global; never enabled in production paths.
+static MUTATE_OR_CHECK: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables the deliberate Theorem 1 mutation (see
+/// [`or_check_mutation_enabled`]). Only the fuzz harness self-check and the
+/// `fuzz --mutate` binary flip this; remember to restore `false`.
+pub fn set_or_check_mutation(enabled: bool) {
+    MUTATE_OR_CHECK.store(enabled, Ordering::SeqCst);
+}
+
+/// Is the deliberate Theorem 1 mutation currently enabled?
+pub fn or_check_mutation_enabled() -> bool {
+    MUTATE_OR_CHECK.load(Ordering::SeqCst)
+}
 
 /// Theorem 1: is the ISF OR-bi-decomposable with sets `(X_A, X_B)`?
 ///
@@ -20,7 +44,11 @@ pub fn or_decomposable(mgr: &mut Bdd, isf: &Isf, xa: &VarSet, xb: &VarSet) -> bo
 /// [`or_decomposable`] with pre-built quantifier cubes.
 pub fn or_decomposable_cubes(mgr: &mut Bdd, isf: &Isf, xa_cube: Func, xb_cube: Func) -> bool {
     let ra = mgr.exists(isf.r, xa_cube);
-    let rb = mgr.exists(isf.r, xb_cube);
+    let rb = if or_check_mutation_enabled() {
+        mgr.forall(isf.r, xb_cube)
+    } else {
+        mgr.exists(isf.r, xb_cube)
+    };
     let t = mgr.and(ra, rb);
     mgr.disjoint(isf.q, t)
 }

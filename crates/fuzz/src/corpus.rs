@@ -1,0 +1,141 @@
+//! The regression corpus: minimized counterexamples as PLA files.
+//!
+//! Every saved case gets a deterministic, content-addressed filename
+//! (`case-<kind>-<hash16>.pla`) so independent fuzz runs deduplicate
+//! naturally, and every save is gated on a Display → parse round trip —
+//! a file that cannot be replayed bit-exactly is never written.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use pla::Pla;
+
+/// 64-bit FNV-1a (the workspace is dependency-free; this only needs to
+/// be stable, not cryptographic).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The content-addressed filename for a minimized case.
+pub fn case_filename(kind: &str, pla: &Pla) -> String {
+    let hash = fnv1a(format!("{kind}\n{pla}").as_bytes());
+    format!("case-{kind}-{hash:016x}.pla")
+}
+
+/// Saves a minimized case into `dir` (created if missing). Returns the
+/// path written, or `Ok(None)` if an identically named case already
+/// exists (same kind and content — nothing new to record).
+///
+/// # Panics
+///
+/// Panics if the case does not survive a Display → parse round trip;
+/// such a case could never be replayed, so writing it would poison the
+/// corpus.
+pub fn save_case(dir: &Path, kind: &str, pla: &Pla) -> io::Result<Option<PathBuf>> {
+    let text = pla.to_string();
+    let reparsed: Pla = text.parse().unwrap_or_else(|e| {
+        panic!("minimized case does not round-trip through the PLA format: {e}\n{text}")
+    });
+    assert_eq!(reparsed, *pla, "minimized case must round-trip bit-exactly");
+    fs::create_dir_all(dir)?;
+    let path = dir.join(case_filename(kind, pla));
+    if path.exists() {
+        return Ok(None);
+    }
+    fs::write(&path, format!("# minimized fuzz counterexample ({kind})\n{text}"))?;
+    Ok(Some(path))
+}
+
+/// Loads every `.pla` file in `dir`, sorted by filename for replay
+/// determinism. Returns `(file stem, case)` pairs; a missing directory
+/// is an empty corpus.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<(String, Pla)>> {
+    let mut paths: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "pla"))
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    paths.sort();
+    let mut cases = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(&path)?;
+        let pla: Pla = text
+            .parse()
+            .unwrap_or_else(|e| panic!("corpus file {} is malformed: {e}", path.display()));
+        let stem = path.file_stem().map_or_else(String::new, |s| s.to_string_lossy().into_owned());
+        cases.push((stem, pla));
+    }
+    Ok(cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use benchmarks::SplitMix64;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fuzz-corpus-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let mut rng = SplitMix64::new(4);
+        let mut saved = Vec::new();
+        for _ in 0..10 {
+            let case = gen::generate(&mut rng, &[]);
+            if let Some(path) = save_case(&dir, "test", &case.pla).expect("save") {
+                saved.push((path, case.pla));
+            }
+        }
+        assert!(!saved.is_empty());
+        let loaded = load_dir(&dir).expect("load");
+        assert_eq!(loaded.len(), saved.len());
+        for (path, pla) in &saved {
+            let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+            let found = loaded.iter().find(|(s, _)| *s == stem).expect("saved case is loaded");
+            assert_eq!(&found.1, pla, "replayed case equals the saved one");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_saves_are_skipped() {
+        let dir = temp_dir("dedupe");
+        let mut rng = SplitMix64::new(6);
+        let case = gen::generate(&mut rng, &[]);
+        assert!(save_case(&dir, "dup", &case.pla).expect("first save").is_some());
+        assert!(save_case(&dir, "dup", &case.pla).expect("second save").is_none());
+        assert_eq!(load_dir(&dir).expect("load").len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn filenames_are_content_addressed() {
+        let mut rng = SplitMix64::new(7);
+        let a = gen::generate(&mut rng, &[]).pla;
+        let b = gen::generate(&mut rng, &[]).pla;
+        assert_eq!(case_filename("k", &a), case_filename("k", &a));
+        assert_ne!(case_filename("k", &a), case_filename("k", &b));
+        assert_ne!(case_filename("k", &a), case_filename("other", &a));
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_corpus() {
+        let dir = temp_dir("missing");
+        assert!(load_dir(&dir).expect("load").is_empty());
+    }
+}

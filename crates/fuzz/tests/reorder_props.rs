@@ -1,0 +1,112 @@
+//! Seeded property tests for `bdd::reorder`, cross-checked via `boolfn`:
+//! rebuilding under any variable order and greedy sifting must preserve
+//! function semantics, `support`, and `sat_count`.
+//!
+//! These live in the fuzz crate because `bdd` cannot depend on `boolfn`
+//! (the oracle crate depends on `bdd` for conversions).
+
+use bdd::{reorder, Bdd, VarId, VarSet};
+use benchmarks::SplitMix64;
+use boolfn::TruthTable;
+
+fn varset_mask(set: &VarSet) -> u32 {
+    set.iter().fold(0u32, |m, v| m | (1 << v))
+}
+
+/// Semantics, support and satisfy-count of every root must survive a
+/// reorder; `level2var` lists which variable sits at each level.
+fn assert_invariants(mgr: &Bdd, roots: &[bdd::Func], tables: &[TruthTable], what: &str) {
+    let n = tables[0].num_vars();
+    for (k, (&f, tt)) in roots.iter().zip(tables).enumerate() {
+        assert_eq!(TruthTable::from_bdd(mgr, f, n), *tt, "{what}: root {k} changed semantics");
+        assert_eq!(
+            varset_mask(&mgr.support(f)),
+            tt.support_mask(),
+            "{what}: root {k} changed support"
+        );
+        let count = mgr.sat_count(f);
+        assert_eq!(count, tt.count_ones() as f64, "{what}: root {k} changed sat_count");
+    }
+}
+
+#[test]
+fn random_orders_preserve_semantics_support_and_satcount() {
+    let mut rng = SplitMix64::new(41);
+    for case in 0..30 {
+        let n = 4 + rng.gen_range(4); // 4..=7
+        let tables: Vec<TruthTable> = (0..2)
+            .map(|_| {
+                TruthTable::random(n, 0.2 + 0.6 * (rng.gen_range(7) as f64 / 10.0), rng.next_u64())
+            })
+            .collect();
+        let mut mgr = Bdd::new(n);
+        let mut roots: Vec<bdd::Func> = tables.iter().map(|t| t.to_bdd(&mut mgr)).collect();
+        // A few successive random orders: invariants must hold after each.
+        for round in 0..3 {
+            let mut perm: Vec<VarId> = (0..n as VarId).collect();
+            rng.shuffle(&mut perm);
+            roots = mgr.reorder(&perm, &roots);
+            assert_invariants(
+                &mgr,
+                &roots,
+                &tables,
+                &format!("case {case} round {round} {perm:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn greedy_sifting_preserves_semantics_and_does_not_grow_the_dag() {
+    let mut rng = SplitMix64::new(43);
+    for case in 0..20 {
+        let n = 5 + rng.gen_range(3); // 5..=7
+        let tables: Vec<TruthTable> =
+            (0..2).map(|_| TruthTable::random(n, 0.5, rng.next_u64())).collect();
+        let mut mgr = Bdd::new(n);
+        let roots: Vec<bdd::Func> = tables.iter().map(|t| t.to_bdd(&mut mgr)).collect();
+        let before = mgr.node_count_all(&roots);
+        let roots = reorder::greedy_sift(&mut mgr, &roots, 3);
+        assert_invariants(&mgr, &roots, &tables, &format!("case {case} sift"));
+        let after = mgr.node_count_all(&roots);
+        assert!(after <= before, "case {case}: sifting grew the DAG ({before} -> {after})");
+    }
+}
+
+#[test]
+fn frequency_order_is_a_permutation_and_reorder_accepts_it() {
+    let mut rng = SplitMix64::new(47);
+    let n = 6;
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(100) as f64).collect();
+    let order = reorder::order_by_frequency(&weights);
+    let mut sorted = order.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..n as VarId).collect::<Vec<_>>(), "result is a permutation");
+
+    let tt = TruthTable::random(n, 0.5, 7);
+    let mut mgr = Bdd::new(n);
+    let f = tt.to_bdd(&mut mgr);
+    let roots = mgr.reorder(&order, &[f]);
+    assert_eq!(TruthTable::from_bdd(&mgr, roots[0], n), tt);
+}
+
+#[test]
+fn structured_functions_survive_adversarial_orders() {
+    // Parity and blockwise-AND functions have strongly order-sensitive
+    // BDD sizes; semantics must nevertheless be order-free.
+    let n = 6;
+    let parity = TruthTable::from_fn(n, |m| m.count_ones() % 2 == 1);
+    let blocks = TruthTable::from_fn(n, |m| {
+        (m & 0b11 == 0b11) || (m >> 2 & 0b11 == 0b11) || (m >> 4 & 0b11 == 0b11)
+    });
+    for tt in [parity, blocks] {
+        let mut mgr = Bdd::new(n);
+        let f = tt.to_bdd(&mut mgr);
+        let reversed: Vec<VarId> = (0..n as VarId).rev().collect();
+        let roots = mgr.reorder(&reversed, &[f]);
+        assert_invariants(&mgr, &roots, std::slice::from_ref(&tt), "reversed order");
+        let interleaved: Vec<VarId> = [0, 2, 4, 1, 3, 5].to_vec();
+        let roots = mgr.reorder(&interleaved, &roots);
+        assert_invariants(&mgr, &roots, std::slice::from_ref(&tt), "interleaved order");
+    }
+}

@@ -1,0 +1,71 @@
+//! Harness self-check: with the deliberate Theorem 1 mutation enabled
+//! (`bidecomp::check::set_or_check_mutation`), the fuzz loop must find a
+//! counterexample and shrink it to a handful of cubes — proof that the
+//! differential harness can catch a real logic bug, not just pass on
+//! correct code.
+//!
+//! The mutation switch is process-global, so everything that touches it
+//! lives in this one integration test (its own process) and runs
+//! sequentially inside a single `#[test]`.
+
+use fuzz::{check_case, run, FuzzConfig};
+
+/// Restores the pristine pipeline even if an assertion fails mid-test.
+struct MutationGuard;
+
+impl Drop for MutationGuard {
+    fn drop(&mut self) {
+        bidecomp::check::set_or_check_mutation(false);
+    }
+}
+
+#[test]
+fn injected_theorem1_bug_is_found_and_minimized() {
+    let _guard = MutationGuard;
+    let cfg = FuzzConfig { seed: 1, iters: 500, shrink_checks: 2_000, ..FuzzConfig::default() };
+
+    // Sanity: the same budget fuzzes clean on the pristine pipeline.
+    assert!(!bidecomp::check::or_check_mutation_enabled());
+    let before = run(&FuzzConfig { iters: 30, ..cfg.clone() });
+    assert!(before.clean(), "HEAD must fuzz clean before the mutation: {:?}", before.failures);
+
+    // The planted bug makes the OR-decomposability check accept groupings
+    // it must reject; in this (debug) build that trips the decomposer's
+    // compatibility assertions, which the harness catches as panics.
+    bidecomp::check::set_or_check_mutation(true);
+    assert!(bidecomp::check::or_check_mutation_enabled());
+    // Thousands of caught panics are expected while shrinking; keep the
+    // (captured) stderr readable. This file holds exactly one test, so
+    // the global hook swap cannot race another test.
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run(&cfg);
+    let _ = std::panic::take_hook();
+    assert!(!report.clean(), "the harness must catch the planted Theorem 1 bug");
+    let failure = &report.failures[0];
+    assert!(
+        failure.minimized.cubes().len() <= 4,
+        "minimized counterexample must be ≤ 4 cubes, got {}:\n{}",
+        failure.minimized.cubes().len(),
+        failure.minimized
+    );
+    assert!(
+        failure.shrink_checks <= cfg.shrink_checks,
+        "shrinking must respect its iteration bound"
+    );
+    // The minimized case still reproduces under the mutation...
+    assert!(
+        check_case(&failure.minimized, cfg.seed, cfg.atpg_node_budget).is_err(),
+        "minimized case must still fail under the mutation"
+    );
+
+    // ...and passes once the pipeline is pristine again, making it a
+    // corpus-quality regression case for the Theorem 1 check.
+    bidecomp::check::set_or_check_mutation(false);
+    for failure in &report.failures {
+        assert!(
+            check_case(&failure.minimized, cfg.seed, cfg.atpg_node_budget).is_ok(),
+            "minimized case must pass on the pristine pipeline:\n{}",
+            failure.minimized
+        );
+    }
+}

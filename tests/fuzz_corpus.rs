@@ -1,0 +1,43 @@
+//! Replays the committed regression corpus (`artifacts/corpus/`) through
+//! the full differential harness: every minimized counterexample ever
+//! found (against deliberately mutated builds) must pass on HEAD, for
+//! both the operator-level oracles and the end-to-end pipeline.
+
+use std::path::Path;
+
+use fuzz::{corpus, replay, FuzzConfig};
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("artifacts/corpus")
+}
+
+#[test]
+fn committed_corpus_replays_clean() {
+    let cases = corpus::load_dir(&corpus_dir()).expect("corpus directory is readable");
+    assert!(
+        cases.len() >= 20,
+        "the committed corpus must hold at least 20 minimized cases, found {}",
+        cases.len()
+    );
+    let report = replay(&cases, &FuzzConfig::default());
+    assert_eq!(report.cases, cases.len() as u64);
+    let summary: Vec<String> =
+        report.failures.iter().map(|f| format!("{}: [{}] {}", f.mode, f.kind, f.detail)).collect();
+    assert!(report.clean(), "corpus replay found regressions: {summary:#?}");
+}
+
+#[test]
+fn corpus_files_are_canonical() {
+    // Each file must round-trip bit-exactly and carry the content hash it
+    // was saved under, so on-disk edits that break replayability are
+    // caught here rather than silently skipped.
+    for (name, pla) in corpus::load_dir(&corpus_dir()).expect("corpus directory is readable") {
+        let reparsed: pla::Pla = pla.to_string().parse().expect("round trip");
+        assert_eq!(reparsed, pla, "{name}: does not round-trip");
+        let kind = name
+            .strip_prefix("case-")
+            .and_then(|rest| rest.rsplit_once('-').map(|(kind, _)| kind))
+            .unwrap_or_else(|| panic!("{name}: unexpected corpus filename"));
+        assert_eq!(corpus::case_filename(kind, &pla), format!("{name}.pla"), "{name}: stale hash");
+    }
+}
