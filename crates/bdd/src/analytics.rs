@@ -1,0 +1,427 @@
+//! Post-run analytics over the manager's tables and counters.
+//!
+//! Everything here is *analysis*, not instrumentation: the manager keeps a
+//! handful of cheap always-on counters (per-op-kind cache counts, one
+//! sample per GC run, the reorder count) and this module turns them — plus
+//! a one-shot walk of the unique table — into the structured `analytics`
+//! section of run reports. Building an [`Analytics`] costs one pass over
+//! the unique table; nothing here runs on the operator hot path.
+
+use std::hash::{Hash, Hasher};
+
+use obs::json::Json;
+
+use crate::hash::FxHasher;
+use crate::manager::{Bdd, CacheOp};
+
+/// Unique-table probe-length distribution, *estimated* by re-hashing every
+/// key into an idealized power-of-two bucket array of the same capacity.
+///
+/// The standard-library table (hashbrown) does not expose its probe
+/// sequences, so this models the table as plain separate chaining: every
+/// key lands in `hash & (buckets - 1)` and `chain_histogram[k]` counts the
+/// buckets holding exactly `k` keys (the last bin aggregates `k >=
+/// MAX_CHAIN_BIN`). That is exactly the collision structure the real table
+/// has to resolve, whatever probing it uses, so a fat tail here is a fat
+/// tail there.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ProbeStats {
+    /// Modelled bucket count (capacity rounded up to a power of two).
+    pub buckets: usize,
+    /// Keys hashed (= unique-table entries).
+    pub entries: usize,
+    /// Buckets holding at least one key.
+    pub occupied_buckets: usize,
+    /// Longest chain observed.
+    pub max_chain: usize,
+    /// `[k]` = buckets holding exactly `k` keys; the last bin is `k` or
+    /// more.
+    pub chain_histogram: Vec<u64>,
+    /// Expected probes for a successful lookup under the chain model
+    /// (1.0 = every key alone in its bucket).
+    pub expected_probes: f64,
+}
+
+/// Chain lengths at or above this land in the histogram's last bin.
+const MAX_CHAIN_BIN: usize = 8;
+
+impl ProbeStats {
+    /// The distribution as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let hist: Vec<Json> = self.chain_histogram.iter().map(|&n| Json::from(n)).collect();
+        Json::obj()
+            .field("buckets", self.buckets)
+            .field("entries", self.entries)
+            .field("occupied_buckets", self.occupied_buckets)
+            .field("max_chain", self.max_chain)
+            .field("chain_histogram", hist)
+            .field("expected_probes", self.expected_probes)
+    }
+}
+
+/// Computed-cache traffic of one operation kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct OpCacheStats {
+    /// Operation name (`and`, `ite`, `exists`, …).
+    pub op: &'static str,
+    /// Cache lookups issued by this operation.
+    pub lookups: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+}
+
+impl OpCacheStats {
+    /// Hit fraction in `[0, 1]` (0 when the op never looked anything up).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// The stats as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("op", self.op)
+            .field("lookups", self.lookups)
+            .field("hits", self.hits)
+            .field("hit_rate", self.hit_rate())
+    }
+}
+
+/// One garbage-collection run, as sampled by [`Bdd::gc`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct GcSample {
+    /// Live nodes when the collection started.
+    pub nodes_before: u64,
+    /// Nodes reclaimed.
+    pub freed: u64,
+    /// Computed-cache entries dropped (the cache is cleared on GC).
+    pub cache_entries_dropped: u64,
+    /// Wall-clock nanoseconds spent collecting.
+    pub elapsed_ns: u64,
+}
+
+impl GcSample {
+    /// Fraction of the pre-GC nodes this run reclaimed, in `[0, 1]`.
+    pub fn reclaim_fraction(&self) -> f64 {
+        if self.nodes_before == 0 {
+            0.0
+        } else {
+            self.freed as f64 / self.nodes_before as f64
+        }
+    }
+
+    /// The sample as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("nodes_before", self.nodes_before)
+            .field("freed", self.freed)
+            .field("cache_entries_dropped", self.cache_entries_dropped)
+            .field("elapsed_ns", self.elapsed_ns)
+            .field("reclaim_fraction", self.reclaim_fraction())
+    }
+}
+
+/// GC reclaim efficacy across the manager's lifetime.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct GcAnalytics {
+    /// Collections run.
+    pub runs: u64,
+    /// Total nodes reclaimed.
+    pub nodes_reclaimed: u64,
+    /// Mean per-run [`GcSample::reclaim_fraction`] (0 with no runs).
+    pub mean_reclaim_fraction: f64,
+    /// Per-run samples, oldest first (capped; see `truncated`).
+    pub samples: Vec<GcSample>,
+    /// Samples dropped once the retention cap was hit.
+    pub truncated: u64,
+}
+
+impl GcAnalytics {
+    /// The GC analytics as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let samples: Vec<Json> = self.samples.iter().map(GcSample::to_json).collect();
+        Json::obj()
+            .field("runs", self.runs)
+            .field("nodes_reclaimed", self.nodes_reclaimed)
+            .field("mean_reclaim_fraction", self.mean_reclaim_fraction)
+            .field("samples_truncated", self.truncated)
+            .field("samples", samples)
+    }
+}
+
+/// The structured `analytics` section: unique-table probe distribution,
+/// computed-cache hit rate by operation kind, GC reclaim efficacy, and the
+/// reorder count. Built on demand by [`Bdd::analytics`].
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Analytics {
+    /// Unique-table probe-length distribution (estimated; see
+    /// [`ProbeStats`]).
+    pub probe: ProbeStats,
+    /// Computed-cache traffic per operation kind, ops with traffic only,
+    /// worst hit rate first.
+    pub cache_by_op: Vec<OpCacheStats>,
+    /// GC reclaim efficacy.
+    pub gc: GcAnalytics,
+    /// Reorder-by-rebuild runs across the manager's lifetime.
+    pub reorders: u64,
+}
+
+impl Analytics {
+    /// The full section as a JSON object (embedded in run reports).
+    pub fn to_json(&self) -> Json {
+        let by_op: Vec<Json> = self.cache_by_op.iter().map(OpCacheStats::to_json).collect();
+        Json::obj()
+            .field("unique_table", self.probe.to_json())
+            .field("computed_cache_by_op", by_op)
+            .field("gc", self.gc.to_json())
+            .field("reorders", self.reorders)
+    }
+}
+
+/// Builds a [`ProbeStats`] from an iterator of hashable keys and the
+/// table's allocated capacity.
+pub(crate) fn probe_stats<K: Hash>(keys: impl Iterator<Item = K>, capacity: usize) -> ProbeStats {
+    let keys: Vec<K> = keys.collect();
+    if keys.is_empty() {
+        return ProbeStats { chain_histogram: vec![0], ..ProbeStats::default() };
+    }
+    // hashbrown keeps capacity at ~7/8 of its power-of-two bucket array;
+    // rounding the capacity up to a power of two recovers (approximately)
+    // the real bucket count.
+    let buckets = capacity.max(keys.len()).next_power_of_two();
+    let mut occupancy = vec![0u32; buckets];
+    for key in &keys {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        occupancy[(h.finish() as usize) & (buckets - 1)] += 1;
+    }
+    let mut chain_histogram = vec![0u64; MAX_CHAIN_BIN + 1];
+    let mut occupied_buckets = 0;
+    let mut max_chain = 0usize;
+    // Σ occ·(occ+1)/2 probes over all chains, under "scan the chain from
+    // its head" semantics.
+    let mut probe_sum = 0u64;
+    for &occ in &occupancy {
+        let occ = occ as usize;
+        if occ == 0 {
+            chain_histogram[0] += 1;
+            continue;
+        }
+        occupied_buckets += 1;
+        max_chain = max_chain.max(occ);
+        chain_histogram[occ.min(MAX_CHAIN_BIN)] += 1;
+        probe_sum += (occ * (occ + 1) / 2) as u64;
+    }
+    ProbeStats {
+        buckets,
+        entries: keys.len(),
+        occupied_buckets,
+        max_chain,
+        chain_histogram,
+        expected_probes: probe_sum as f64 / keys.len() as f64,
+    }
+}
+
+/// Always-on analytics state carried inside the manager: per-op cache
+/// counters, the GC sample log, and the reorder count. Cheap enough to
+/// maintain unconditionally (two array increments per cache lookup, one
+/// push per GC run).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct AnalyticsState {
+    /// `[op][0]` = lookups, `[op][1]` = hits, indexed by [`CacheOp`].
+    pub(crate) cache_by_op: [[u64; 2]; CacheOp::COUNT],
+    pub(crate) gc_samples: Vec<GcSample>,
+    pub(crate) gc_samples_truncated: u64,
+    pub(crate) reorders: u64,
+}
+
+/// GC samples retained before the log starts dropping (the counters keep
+/// counting; only per-run detail is capped).
+const GC_SAMPLE_CAP: usize = 256;
+
+impl AnalyticsState {
+    #[inline]
+    pub(crate) fn note_lookup(&mut self, op: CacheOp, hit: bool) {
+        let slot = &mut self.cache_by_op[op as usize];
+        slot[0] += 1;
+        slot[1] += u64::from(hit);
+    }
+
+    pub(crate) fn note_gc(&mut self, sample: GcSample) {
+        if self.gc_samples.len() < GC_SAMPLE_CAP {
+            self.gc_samples.push(sample);
+        } else {
+            self.gc_samples_truncated += 1;
+        }
+    }
+
+    /// Merges `old` into `self` after a reorder-by-rebuild.
+    pub(crate) fn absorb(&mut self, old: &AnalyticsState) {
+        for (mine, theirs) in self.cache_by_op.iter_mut().zip(&old.cache_by_op) {
+            mine[0] += theirs[0];
+            mine[1] += theirs[1];
+        }
+        // The old samples predate this manager's: keep chronology.
+        let mut samples = old.gc_samples.clone();
+        samples.append(&mut self.gc_samples);
+        if samples.len() > GC_SAMPLE_CAP {
+            self.gc_samples_truncated += (samples.len() - GC_SAMPLE_CAP) as u64;
+            samples.truncate(GC_SAMPLE_CAP);
+        }
+        self.gc_samples = samples;
+        self.gc_samples_truncated += old.gc_samples_truncated;
+        self.reorders += old.reorders;
+    }
+}
+
+impl Bdd {
+    /// Builds the structured [`Analytics`] section: one pass over the
+    /// unique table plus a summary of the always-on counters.
+    pub fn analytics(&self) -> Analytics {
+        let state = self.analytics_state();
+        let mut cache_by_op: Vec<OpCacheStats> = CacheOp::ALL
+            .iter()
+            .filter_map(|&op| {
+                let [lookups, hits] = state.cache_by_op[op as usize];
+                (lookups > 0).then(|| OpCacheStats { op: op.name(), lookups, hits })
+            })
+            .collect();
+        cache_by_op.sort_by(|a, b| {
+            a.hit_rate().partial_cmp(&b.hit_rate()).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let op = self.op_stats();
+        let mean_reclaim_fraction = if state.gc_samples.is_empty() {
+            0.0
+        } else {
+            state.gc_samples.iter().map(GcSample::reclaim_fraction).sum::<f64>()
+                / state.gc_samples.len() as f64
+        };
+        Analytics {
+            probe: self.unique_probe_stats(),
+            cache_by_op,
+            gc: GcAnalytics {
+                runs: op.gc_runs,
+                nodes_reclaimed: op.gc_nodes_reclaimed,
+                mean_reclaim_fraction,
+                samples: state.gc_samples.clone(),
+                truncated: state.gc_samples_truncated,
+            },
+            reorders: state.reorders,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_stats_of_empty_and_single() {
+        let empty = probe_stats(std::iter::empty::<u32>(), 16);
+        assert_eq!(empty.entries, 0);
+        assert_eq!(empty.max_chain, 0);
+        let one = probe_stats([7u32].into_iter(), 0);
+        assert_eq!(one.entries, 1);
+        assert_eq!(one.occupied_buckets, 1);
+        assert_eq!(one.max_chain, 1);
+        assert_eq!(one.expected_probes, 1.0);
+    }
+
+    #[test]
+    fn probe_stats_counts_every_key_once() {
+        let stats = probe_stats(0u32..1000, 1200);
+        assert_eq!(stats.entries, 1000);
+        assert!(stats.buckets.is_power_of_two());
+        // Histogram buckets weighted by chain length must cover every key.
+        let covered: u64 =
+            stats.chain_histogram.iter().enumerate().map(|(k, &n)| k as u64 * n).sum();
+        // The last bin aggregates `>= MAX_CHAIN_BIN`, so coverage is a
+        // lower bound; with 1000 well-spread keys chains stay short.
+        assert!(covered >= stats.entries as u64 - 8, "covered {covered}");
+        assert!(stats.expected_probes >= 1.0);
+        assert!(stats.max_chain >= 1);
+        let json = stats.to_json();
+        assert_eq!(
+            json.get("entries").and_then(Json::as_f64),
+            Some(1000.0),
+            "JSON mirrors the struct"
+        );
+    }
+
+    #[test]
+    fn degenerate_hashing_shows_a_fat_tail() {
+        // All-equal keys land in one bucket: worst case made visible.
+        let stats = probe_stats(std::iter::repeat_n(42u32, 20), 32);
+        assert_eq!(stats.occupied_buckets, 1);
+        assert_eq!(stats.max_chain, 20);
+        assert_eq!(*stats.chain_histogram.last().unwrap(), 1);
+        assert!(stats.expected_probes > 10.0);
+    }
+
+    #[test]
+    fn manager_analytics_sees_cache_traffic_and_gc() {
+        let mut mgr = Bdd::new(6);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = mgr.and(a, b);
+        let _ = mgr.and(a, b); // cache hit
+        let _ = mgr.xor(a, b);
+        let analytics = mgr.analytics();
+        assert!(analytics.probe.entries >= 3, "vars and the AND node");
+        let and_stats =
+            analytics.cache_by_op.iter().find(|s| s.op == "and").expect("AND traffic recorded");
+        assert!(and_stats.lookups >= 2);
+        assert!(and_stats.hits >= 1);
+        assert!(analytics.cache_by_op.iter().all(|s| s.lookups > 0), "quiet ops are omitted");
+        // Worst hit rate sorts first.
+        for pair in analytics.cache_by_op.windows(2) {
+            assert!(pair[0].hit_rate() <= pair[1].hit_rate() + 1e-12);
+        }
+        assert_eq!(analytics.gc.runs, 0);
+        mgr.protect(f);
+        let freed = mgr.gc();
+        let analytics = mgr.analytics();
+        assert_eq!(analytics.gc.runs, 1);
+        assert_eq!(analytics.gc.samples.len(), 1);
+        assert_eq!(analytics.gc.samples[0].freed, freed as u64);
+        assert!(analytics.gc.mean_reclaim_fraction > 0.0);
+        let json = analytics.to_json();
+        assert!(json.get("unique_table").is_some());
+        assert!(json.get("computed_cache_by_op").and_then(Json::as_arr).is_some());
+        assert_eq!(json.get("reorders").and_then(Json::as_f64), Some(0.0));
+        mgr.unprotect(f);
+    }
+
+    #[test]
+    fn analytics_survive_reorder() {
+        let mut mgr = Bdd::new(4);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = mgr.and(a, b);
+        let _ = mgr.and(a, b);
+        let before = mgr.analytics();
+        let and_lookups =
+            before.cache_by_op.iter().find(|s| s.op == "and").map_or(0, |s| s.lookups);
+        assert!(and_lookups >= 2);
+        let order: Vec<u32> = (0..4).rev().collect();
+        let _roots = mgr.reorder(&order, &[f]);
+        let after = mgr.analytics();
+        assert_eq!(after.reorders, 1, "the rebuild is counted");
+        let after_lookups =
+            after.cache_by_op.iter().find(|s| s.op == "and").map_or(0, |s| s.lookups);
+        assert!(after_lookups >= and_lookups, "per-op counters survive the rebuild");
+    }
+
+    #[test]
+    fn gc_sample_log_caps_but_keeps_counting() {
+        let mut state = AnalyticsState::default();
+        for i in 0..(GC_SAMPLE_CAP + 10) {
+            state.note_gc(GcSample { nodes_before: i as u64 + 1, freed: 1, ..GcSample::default() });
+        }
+        assert_eq!(state.gc_samples.len(), GC_SAMPLE_CAP);
+        assert_eq!(state.gc_samples_truncated, 10);
+    }
+}

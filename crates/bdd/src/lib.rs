@@ -33,11 +33,14 @@
 //!   [`Bdd::protect`]ed roots.
 //! * Variable reordering by rebuild ([`Bdd::reorder`]) plus static ordering
 //!   heuristics ([`reorder::order_by_frequency`]).
+//! * Post-run table/cache/GC analytics ([`Bdd::analytics`]): probe-length
+//!   distribution, per-op cache hit rates, GC reclaim efficacy.
 //! * Graphviz DOT export for debugging ([`Bdd::to_dot`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytics;
 mod cofactor;
 mod dot;
 mod hash;
@@ -50,6 +53,7 @@ mod sat;
 mod support;
 mod varset;
 
+pub use analytics::{Analytics, GcAnalytics, GcSample, OpCacheStats, ProbeStats};
 pub use isop::IsopCube;
 pub use manager::{Bdd, Func, ManagerSnapshot, MemReport, OpStats, VarId};
 pub use ops::BinOp;

@@ -93,6 +93,47 @@ pub(crate) enum CacheOp {
     CofNeg,
 }
 
+impl CacheOp {
+    /// Number of operation kinds (sizes the per-op analytics arrays).
+    pub(crate) const COUNT: usize = 13;
+
+    /// Every operation kind, in declaration order (= discriminant order).
+    pub(crate) const ALL: [CacheOp; CacheOp::COUNT] = [
+        CacheOp::And,
+        CacheOp::Or,
+        CacheOp::Xor,
+        CacheOp::Diff,
+        CacheOp::Not,
+        CacheOp::Ite,
+        CacheOp::Exists,
+        CacheOp::Forall,
+        CacheOp::AndExists,
+        CacheOp::Restrict,
+        CacheOp::Compose,
+        CacheOp::CofPos,
+        CacheOp::CofNeg,
+    ];
+
+    /// Stable lower-case name used in analytics JSON.
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            CacheOp::And => "and",
+            CacheOp::Or => "or",
+            CacheOp::Xor => "xor",
+            CacheOp::Diff => "diff",
+            CacheOp::Not => "not",
+            CacheOp::Ite => "ite",
+            CacheOp::Exists => "exists",
+            CacheOp::Forall => "forall",
+            CacheOp::AndExists => "and_exists",
+            CacheOp::Restrict => "restrict",
+            CacheOp::Compose => "compose",
+            CacheOp::CofPos => "cof_pos",
+            CacheOp::CofNeg => "cof_neg",
+        }
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub(crate) struct CacheKey {
     pub op: CacheOp,
@@ -246,6 +287,9 @@ pub struct Bdd {
     /// Per-operation latency histogram; `None` (the default) costs one
     /// branch per public operator call.
     op_timing: Option<Box<Histogram>>,
+    /// Always-on analytics counters (per-op cache traffic, GC samples,
+    /// reorder count); see [`crate::analytics`].
+    analytics: crate::analytics::AnalyticsState,
 }
 
 impl Bdd {
@@ -270,6 +314,7 @@ impl Bdd {
             recorder: None,
             peak_mem_bytes: 0,
             op_timing: None,
+            analytics: crate::analytics::AnalyticsState::default(),
         };
         // Slots 0 and 1 are the terminals.
         mgr.nodes.push(Node { var: TERMINAL_VAR, low: Func::ZERO, high: Func::ZERO });
@@ -515,6 +560,12 @@ impl Bdd {
         self.op_stats.gc_runs += 1;
         self.op_stats.gc_nodes_reclaimed += freed as u64;
         self.op_stats.gc_time += elapsed;
+        self.analytics.note_gc(crate::analytics::GcSample {
+            nodes_before: nodes_before as u64,
+            freed: freed as u64,
+            cache_entries_dropped: cache_entries as u64,
+            elapsed_ns: elapsed.as_nanos() as u64,
+        });
         if let Some(rec) = &self.recorder {
             rec.count("bdd.gc.runs", 1);
             rec.count("bdd.gc.nodes_reclaimed", freed as u64);
@@ -562,6 +613,7 @@ impl Bdd {
         if hit.is_some() {
             self.op_stats.cache_hits += 1;
         }
+        self.analytics.note_lookup(key.op, hit.is_some());
         hit.map(Func)
     }
 
@@ -616,6 +668,25 @@ impl Bdd {
         self.op_stats.gc_runs += fresh.gc_runs;
         self.op_stats.gc_nodes_reclaimed += fresh.gc_nodes_reclaimed;
         self.op_stats.gc_time += fresh.gc_time;
+        self.analytics.absorb(&old.analytics);
+    }
+
+    /// The always-on analytics counters (per-op cache traffic, GC sample
+    /// log, reorder count).
+    pub(crate) fn analytics_state(&self) -> &crate::analytics::AnalyticsState {
+        &self.analytics
+    }
+
+    /// Counts one reorder-by-rebuild run (called by
+    /// [`reorder`](Bdd::reorder) on the freshly built manager).
+    pub(crate) fn note_reorder(&mut self) {
+        self.analytics.reorders += 1;
+    }
+
+    /// Estimated unique-table probe-length distribution (one pass over the
+    /// table; see [`crate::analytics::ProbeStats`]).
+    pub(crate) fn unique_probe_stats(&self) -> crate::analytics::ProbeStats {
+        crate::analytics::probe_stats(self.unique.keys().copied(), self.unique.capacity())
     }
 
     /// Current heap footprint of the three dominant allocations, in bytes

@@ -61,6 +61,9 @@ fn main() {
     });
     println!("{baseline_path} → {current_path}");
     print!("{}", diff.render());
+    for warning in &diff.warnings {
+        eprintln!("warning: {warning}");
+    }
     if diff.has_regressions() {
         eprintln!();
         for line in diff.regressions() {

@@ -1,6 +1,9 @@
 //! Runs the benchmark suite and writes `BENCH_bidecomp.json`: one record
 //! per benchmark with the Table 2 columns, per-phase times, BDD op/GC
-//! counters, latency percentiles, memory footprint and the §7 rates.
+//! counters, latency percentiles, memory footprint, cache/GC analytics,
+//! the resource time series and the §7 rates. Each benchmark is also run
+//! past the doctor; findings are echoed to stderr so a slow report run
+//! explains itself.
 //!
 //! Usage: `report [--small] [OUTPUT]` (default `BENCH_bidecomp.json`).
 //! `--small` runs the quick subset (`benchmarks::small()`) — the set the
@@ -9,7 +12,8 @@
 use std::fs::File;
 use std::io::BufWriter;
 
-use bench::report::{bench_record, report_document, write_report};
+use bench::report::{record_from_outcome, report_document, write_report};
+use bidecomp::doctor::{diagnose, DoctorConfig};
 use bidecomp::Options;
 use obs::json::Json;
 
@@ -28,9 +32,23 @@ fn main() {
     }
     let suite = if small { benchmarks::small() } else { benchmarks::all() };
     let options = Options::default();
+    let doctor_cfg = DoctorConfig::default();
     let mut records = Vec::new();
     for b in suite {
-        let record = bench_record(b.name, &b.pla, &options);
+        // Telemetry on, as bench_record does: records carry the depth
+        // histogram, analytics and time series.
+        let telemetry_options = Options { telemetry: true, ..options };
+        let outcome = bidecomp::decompose_pla(&b.pla, &telemetry_options);
+        let record = record_from_outcome(b.name, &outcome);
+        for finding in &diagnose(&outcome, &doctor_cfg).findings {
+            eprintln!(
+                "{}: [{}] {}: {}",
+                b.name,
+                finding.severity.name(),
+                finding.kind,
+                finding.message
+            );
+        }
         let gates = record
             .get("netlist")
             .and_then(|n| n.get("gates"))

@@ -3,6 +3,7 @@
 //! across the benchmark suite.
 //!
 //! Usage: `stats [--trace-out FILE] [--chrome-trace FILE] [--flame FILE]
+//! [--doctor FILE] [--tree-dot FILE] [--timeseries-out FILE] [--small]
 //! [--pla FILE]`
 //!
 //! * `--trace-out` streams every benchmark's decomposition trace to
@@ -12,11 +13,21 @@
 //!   JSON — load it in `chrome://tracing` or Perfetto.
 //! * `--flame` writes the span tree as collapsed stacks for
 //!   `flamegraph.pl` / speedscope.
+//! * `--doctor` runs the anomaly detectors over every benchmark and
+//!   writes one `bidecomp-doctor/v1` findings document; the process
+//!   exits 1 when any finding has `error` severity (the CI gate).
+//! * `--tree-dot` writes every benchmark's cost-annotated decomposition
+//!   tree as Graphviz DOT (one cluster per benchmark).
+//! * `--timeseries-out` writes the background resource sampler's series
+//!   (nodes, table/cache/slab bytes, op rate) as JSON.
+//! * `--small` runs the quick subset (`benchmarks::small()`).
 //! * `--pla` runs a single PLA file instead of the built-in suite.
 
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
 
+use bidecomp::doctor::{diagnose, DoctorConfig, DOCTOR_SCHEMA};
+use bidecomp::trace::tree::{render_dot_clusters, DecompTree};
 use bidecomp::{Options, Stats};
 use obs::json::Json;
 use obs::profile::{Profile, ProfileSink};
@@ -24,26 +35,41 @@ use obs::report::{pct, pct2};
 use obs::{Event, JsonlSink, Recorder, Sink as _};
 use pla::Pla;
 
+#[derive(Default)]
 struct Args {
     trace_out: Option<String>,
     chrome_trace: Option<String>,
     flame: Option<String>,
+    doctor: Option<String>,
+    tree_dot: Option<String>,
+    timeseries_out: Option<String>,
+    small: bool,
     pla: Option<String>,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: stats [--trace-out FILE] [--chrome-trace FILE] [--flame FILE] [--pla FILE]");
+    eprintln!(
+        "usage: stats [--trace-out FILE] [--chrome-trace FILE] [--flame FILE] \
+         [--doctor FILE] [--tree-dot FILE] [--timeseries-out FILE] [--small] [--pla FILE]"
+    );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { trace_out: None, chrome_trace: None, flame: None, pla: None };
+    let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let slot = match flag.as_str() {
             "--trace-out" => &mut args.trace_out,
             "--chrome-trace" => &mut args.chrome_trace,
             "--flame" => &mut args.flame,
+            "--doctor" => &mut args.doctor,
+            "--tree-dot" => &mut args.tree_dot,
+            "--timeseries-out" => &mut args.timeseries_out,
+            "--small" => {
+                args.small = true;
+                continue;
+            }
             "--pla" => &mut args.pla,
             _ => usage(),
         };
@@ -66,7 +92,16 @@ fn main() {
         let file = File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
         JsonlSink::new(BufWriter::new(file))
     });
-    let options = Options { trace: args.trace_out.is_some(), ..Options::default() };
+    let sink_errors = trace_sink.as_ref().map(|sink| sink.write_errors());
+    // The forensics outputs need the trace (tree, doctor's grouping
+    // detector) and telemetry (costs, analytics, the resource sampler).
+    let forensics =
+        args.doctor.is_some() || args.tree_dot.is_some() || args.timeseries_out.is_some();
+    let options = Options {
+        trace: args.trace_out.is_some() || forensics,
+        telemetry: forensics,
+        ..Options::default()
+    };
 
     // The profile exporters share one recorder: each benchmark contributes
     // one `decompose_pla` root to the span forest.
@@ -88,6 +123,9 @@ fn main() {
                 .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
             vec![(name, pla)]
         }
+        None if args.small => {
+            benchmarks::small().into_iter().map(|b| (b.name.to_owned(), b.pla)).collect()
+        }
         None => benchmarks::all().into_iter().map(|b| (b.name.to_owned(), b.pla)).collect(),
     };
 
@@ -97,6 +135,11 @@ fn main() {
         "name", "calls", "weak%", "cache%", "inessent.%", "shannon"
     );
     let mut merged = Stats::default();
+    let doctor_cfg = DoctorConfig::default();
+    let mut doctor_records: Vec<Json> = Vec::new();
+    let mut doctor_errors = 0usize;
+    let mut trees: Vec<(String, DecompTree)> = Vec::new();
+    let mut series: Vec<Json> = Vec::new();
     for (name, pla) in &suite {
         let outcome = bidecomp::decompose_pla_with_recorder(pla, &options, recorder.clone());
         let s = outcome.stats;
@@ -119,10 +162,38 @@ fn main() {
                 sink.accept(&event.to_point());
             }
         }
+        if args.doctor.is_some() {
+            let report = diagnose(&outcome, &doctor_cfg);
+            for finding in &report.findings {
+                eprintln!(
+                    "{name}: [{}] {}: {}",
+                    finding.severity.name(),
+                    finding.kind,
+                    finding.message
+                );
+            }
+            doctor_errors += report.counts().2;
+            doctor_records
+                .push(Json::obj().field("name", name.as_str()).field("report", report.to_json()));
+        }
+        if args.tree_dot.is_some() {
+            trees.push((name.clone(), DecompTree::from_trace(&outcome.trace)));
+        }
+        if args.timeseries_out.is_some() {
+            series.push(
+                Json::obj()
+                    .field("name", name.as_str())
+                    .field("timeseries", outcome.timeseries.to_json()),
+            );
+        }
     }
     if let Some(sink) = trace_sink {
         let path = args.trace_out.expect("set together with the sink");
         sink.into_inner().flush().unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        let errors = sink_errors.map_or(0, |e| e.get());
+        if errors > 0 {
+            eprintln!("warning: {errors} trace line(s) were lost to sink write errors ({path})");
+        }
         eprintln!("trace written to {path}");
     }
     if let Some(sink) = &profile_sink {
@@ -134,9 +205,28 @@ fn main() {
             write_file(path, &profile.collapsed_stacks());
         }
     }
+    if let Some(path) = &args.doctor {
+        let document = Json::obj()
+            .field("schema", DOCTOR_SCHEMA)
+            .field("benchmarks", Json::Arr(doctor_records));
+        write_file(path, &document.render());
+    }
+    if let Some(path) = &args.tree_dot {
+        write_file(path, &render_dot_clusters(&trees, true));
+    }
+    if let Some(path) = &args.timeseries_out {
+        let document = Json::obj()
+            .field("schema", "bidecomp-timeseries/v1")
+            .field("benchmarks", Json::Arr(series));
+        write_file(path, &document.render());
+    }
     println!();
     println!("Suite totals:\n{merged}");
     println!();
     println!("Paper's claims: weak in 20-30% of calls; up to 20% component reuse;");
     println!("inessential variables in <1% of calls.");
+    if doctor_errors > 0 {
+        eprintln!("doctor: {doctor_errors} error-severity finding(s) — failing");
+        std::process::exit(1);
+    }
 }

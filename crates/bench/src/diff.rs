@@ -61,6 +61,11 @@ pub struct DiffReport {
     pub only_in_baseline: Vec<String>,
     /// Benchmarks present only in the current report (informational).
     pub only_in_current: Vec<String>,
+    /// Non-fatal observations: schema-version mismatches and record
+    /// sections unknown to one side. The gate still runs on the columns
+    /// both reports share, so a v3 report diffs cleanly against a v2
+    /// baseline — with a warning, not a failure.
+    pub warnings: Vec<String>,
 }
 
 impl DiffReport {
@@ -129,6 +134,9 @@ impl DiffReport {
         }
         for name in &self.only_in_current {
             out.push_str(&format!("{name:10} new in the current report\n"));
+        }
+        for warning in &self.warnings {
+            out.push_str(&format!("warning: {warning}\n"));
         }
         out
     }
@@ -199,11 +207,32 @@ pub fn diff_reports(
     let base = records(baseline)?;
     let cur = records(current)?;
     let mut report = DiffReport::default();
+    let schema_of =
+        |doc: &Json| doc.get("schema").and_then(Json::as_str).unwrap_or("(untagged)").to_owned();
+    let (base_schema, cur_schema) = (schema_of(baseline), schema_of(current));
+    if base_schema != cur_schema {
+        report.warnings.push(format!(
+            "schema mismatch: baseline is {base_schema}, current is {cur_schema} — \
+             sections unknown to either side are ignored by the gate"
+        ));
+    }
+    let mut only_base_keys: Vec<&str> = Vec::new();
+    let mut only_cur_keys: Vec<&str> = Vec::new();
     for (name, b_rec) in &base {
         let Some((_, c_rec)) = cur.iter().find(|(n, _)| n == name) else {
             report.only_in_baseline.push(name.clone());
             continue;
         };
+        for key in b_rec.keys() {
+            if c_rec.get(key).is_none() && !only_base_keys.contains(&key) {
+                only_base_keys.push(key);
+            }
+        }
+        for key in c_rec.keys() {
+            if b_rec.get(key).is_none() && !only_cur_keys.contains(&key) {
+                only_cur_keys.push(key);
+            }
+        }
         let a = cols(b_rec);
         let b = cols(c_rec);
         let mut regressions = Vec::new();
@@ -239,6 +268,16 @@ pub fn diff_reports(
         if !base.iter().any(|(n, _)| n == name) {
             report.only_in_current.push(name.clone());
         }
+    }
+    for key in only_base_keys {
+        report.warnings.push(format!(
+            "record section `{key}` appears only in the baseline — ignored by the gate"
+        ));
+    }
+    for key in only_cur_keys {
+        report.warnings.push(format!(
+            "record section `{key}` appears only in the current report — ignored by the gate"
+        ));
     }
     Ok(report)
 }
@@ -332,6 +371,35 @@ mod tests {
         assert!(!diff.has_regressions());
         assert_eq!(diff.rows[0].peak_bytes.0, 0.0);
         assert!(diff.rows[0].peak_bytes.1 > 0.0);
+    }
+
+    #[test]
+    fn newer_schemas_warn_but_still_gate() {
+        // A v3 current report (extra analytics/timeseries sections)
+        // against a committed v2 baseline: the unknown sections are
+        // warned about, the shared columns still gate.
+        let a = doc(vec![record("rd73", 0.5, 40)]);
+        let mut b = Json::obj()
+            .field("schema", "bidecomp-bench/v3")
+            .field("obs", Json::obj().field("sink_write_errors", 0u64));
+        let extended = record("rd73", 0.5, 40)
+            .field("analytics", Json::obj().field("reorders", 0u64))
+            .field("timeseries", Json::obj().field("samples", Json::Arr(Vec::new())));
+        b = b.field("records", Json::Arr(vec![extended]));
+        let diff = diff_reports(&a, &b, &Thresholds::default()).expect("valid docs");
+        assert!(!diff.has_regressions(), "unknown sections must not fail the gate");
+        assert!(diff.warnings.iter().any(|w| w.contains("schema mismatch")));
+        assert!(diff.warnings.iter().any(|w| w.contains("`analytics`")));
+        assert!(diff.warnings.iter().any(|w| w.contains("`timeseries`")));
+        assert!(diff.render().contains("warning: schema mismatch"));
+        // The reverse direction (old current vs new baseline) warns too.
+        let diff = diff_reports(&b, &a, &Thresholds::default()).expect("valid docs");
+        assert!(!diff.has_regressions());
+        assert!(diff.warnings.iter().any(|w| w.contains("only in the baseline")));
+        // But a real regression hiding behind the schema skew still fails.
+        let b2 = doc(vec![record("rd73", 0.5, 50)]);
+        let diff = diff_reports(&a, &b2, &Thresholds::default()).expect("valid docs");
+        assert!(diff.has_regressions(), "gate must still fire across schema versions");
     }
 
     #[test]

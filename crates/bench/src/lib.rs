@@ -74,6 +74,22 @@ impl Row {
 /// Runs BI-DECOMP on a PLA and measures the Table 2 columns.
 pub fn run_bidecomp(name: &str, pla: &Pla, options: &Options) -> (Row, DecompOutcome) {
     let outcome = bidecomp::decompose_pla(pla, options);
+    // Forensics must be strictly opt-in: a timed run without the flags
+    // pays nothing — no trace events, no per-call costs, no analytics,
+    // no resource samples.
+    if !options.trace {
+        assert!(outcome.trace.is_empty(), "tracing disabled but trace events were recorded");
+    }
+    if !options.telemetry {
+        assert!(
+            outcome.trace.iter().all(|e| e.cost.is_none()),
+            "telemetry disabled but per-call costs were attributed"
+        );
+        assert!(
+            outcome.analytics.is_none() && outcome.timeseries.is_empty(),
+            "telemetry disabled but analytics/timeseries were collected"
+        );
+    }
     let row =
         Row::from_netlist(name, &outcome.netlist, outcome.elapsed.as_secs_f64(), outcome.verified);
     (row, outcome)

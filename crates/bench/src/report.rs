@@ -17,8 +17,12 @@ use pla::Pla;
 /// Schema identifier stamped on every report document.
 ///
 /// v2 added the `percentiles` (per-output / per-BDD-op latency) and `mem`
-/// (manager heap footprint) sections between `bdd` and `decomp`.
-pub const REPORT_SCHEMA: &str = "bidecomp-bench/v2";
+/// (manager heap footprint) sections between `bdd` and `decomp`. v3 adds
+/// per-record `analytics` (unique-table probe distribution, per-op
+/// computed-cache hit rates, GC efficacy, reorder count, component-cache
+/// reuse) and `timeseries` (the background resource sampler) sections,
+/// plus a top-level `obs` section with the trace-sink write-error count.
+pub const REPORT_SCHEMA: &str = "bidecomp-bench/v3";
 
 /// Runs BI-DECOMP on one benchmark (with telemetry on, so the
 /// recursion-depth histogram is populated) and builds its report record.
@@ -65,6 +69,14 @@ pub fn record_from_outcome(name: &str, outcome: &DecompOutcome) -> Json {
         )
         .field("mem", outcome.mem.to_json())
         .field(
+            "analytics",
+            match &outcome.analytics {
+                Some(a) => a.to_json().field("component_cache", outcome.component_cache.to_json()),
+                None => Json::Null,
+            },
+        )
+        .field("timeseries", outcome.timeseries.to_json())
+        .field(
             "decomp",
             Json::obj()
                 .field("calls", d.calls)
@@ -83,9 +95,21 @@ pub fn record_from_outcome(name: &str, outcome: &DecompOutcome) -> Json {
         )
 }
 
-/// Wraps records into the versioned report document.
+/// Wraps records into the versioned report document. The observability
+/// health section reports zero sink write errors (no trace sink ran);
+/// use [`report_document_with_obs`] to surface a real count.
 pub fn report_document(records: Vec<Json>) -> Json {
-    Json::obj().field("schema", REPORT_SCHEMA).field("records", records)
+    report_document_with_obs(records, 0)
+}
+
+/// Wraps records into the versioned report document, surfacing the
+/// `obs.sink.write_errors` counter (dropped trace/event lines) in the
+/// top-level `obs` section.
+pub fn report_document_with_obs(records: Vec<Json>, sink_write_errors: u64) -> Json {
+    Json::obj()
+        .field("schema", REPORT_SCHEMA)
+        .field("obs", Json::obj().field("sink_write_errors", sink_write_errors))
+        .field("records", records)
 }
 
 /// Writes the report document as pretty-enough JSON (one record per line,
@@ -102,6 +126,9 @@ pub fn write_report<W: Write>(document: &Json, mut out: W) -> io::Result<()> {
     let schema =
         document.get("schema").and_then(Json::as_str).expect("report documents carry a schema tag");
     writeln!(out, "{{\"schema\": {},", Json::from(schema).render())?;
+    if let Some(obs) = document.get("obs") {
+        writeln!(out, " \"obs\": {},", obs.render())?;
+    }
     writeln!(out, " \"records\": [")?;
     for (k, record) in records.iter().enumerate() {
         let comma = if k + 1 == records.len() { "" } else { "," };
@@ -139,6 +166,37 @@ mod tests {
         );
         let mem = record.get("mem").expect("mem section");
         assert!(mem.get("peak_bytes").and_then(Json::as_f64).unwrap() > 0.0);
+        // v3: analytics and timeseries ride along (telemetry is forced on
+        // for records, so both are populated).
+        let analytics = record.get("analytics").expect("analytics section");
+        assert!(
+            analytics.get("unique_table").and_then(|t| t.get("entries")).is_some(),
+            "probe stats present"
+        );
+        assert!(analytics.get("component_cache").is_some());
+        let ts = record.get("timeseries").expect("timeseries section");
+        assert!(!ts.get("samples").and_then(Json::as_arr).expect("samples").is_empty());
+    }
+
+    #[test]
+    fn documents_carry_the_obs_health_section() {
+        let doc = report_document_with_obs(Vec::new(), 7);
+        assert_eq!(
+            doc.get("obs").and_then(|o| o.get("sink_write_errors")).and_then(Json::as_f64),
+            Some(7.0)
+        );
+        let clean = report_document(Vec::new());
+        assert_eq!(
+            clean.get("obs").and_then(|o| o.get("sink_write_errors")).and_then(Json::as_f64),
+            Some(0.0)
+        );
+        let mut bytes = Vec::new();
+        write_report(&doc, &mut bytes).expect("in-memory write");
+        let parsed = Json::parse(&String::from_utf8(bytes).expect("utf-8")).expect("parses");
+        assert_eq!(
+            parsed.get("obs").and_then(|o| o.get("sink_write_errors")).and_then(Json::as_f64),
+            Some(7.0)
+        );
     }
 
     #[test]

@@ -1,14 +1,24 @@
 //! Golden test for the `BENCH_bidecomp.json` schema: the document the
 //! `report` binary writes must parse with the workspace JSON parser and
-//! keep the `bidecomp-bench/v2` record shape stable.
+//! keep the `bidecomp-bench/v3` record shape stable.
 
 use bench::report::{bench_record, report_document, write_report, REPORT_SCHEMA};
 use bidecomp::Options;
 use obs::json::Json;
 
 /// The top-level keys of one record, in schema order.
-const RECORD_KEYS: [&str; 8] =
-    ["name", "verified", "time_s", "netlist", "phases", "bdd", "percentiles", "mem"];
+const RECORD_KEYS: [&str; 10] = [
+    "name",
+    "verified",
+    "time_s",
+    "netlist",
+    "phases",
+    "bdd",
+    "percentiles",
+    "mem",
+    "analytics",
+    "timeseries",
+];
 const NETLIST_KEYS: [&str; 8] =
     ["inputs", "outputs", "gates", "exors", "inverters", "cascades", "area", "delay"];
 const PHASE_KEYS: [&str; 4] = ["ordering_s", "bdd_build_s", "decompose_s", "verify_s"];
@@ -28,6 +38,9 @@ const PERCENTILE_KEYS: [&str; 2] = ["output_latency", "op_latency"];
 const LATENCY_KEYS: [&str; 6] = ["count", "mean_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns"];
 const MEM_KEYS: [&str; 5] =
     ["unique_table_bytes", "computed_cache_bytes", "node_slab_bytes", "total_bytes", "peak_bytes"];
+const ANALYTICS_KEYS: [&str; 5] =
+    ["unique_table", "computed_cache_by_op", "gc", "reorders", "component_cache"];
+const TIMESERIES_KEYS: [&str; 3] = ["capacity", "dropped", "samples"];
 const DECOMP_KEYS: [&str; 13] = [
     "calls",
     "cache_hits",
@@ -56,7 +69,7 @@ fn suite_document() -> Json {
 }
 
 #[test]
-fn report_document_matches_the_v2_schema() {
+fn report_document_matches_the_v3_schema() {
     let document = suite_document();
     let mut bytes = Vec::new();
     write_report(&document, &mut bytes).expect("in-memory write");
@@ -64,6 +77,13 @@ fn report_document_matches_the_v2_schema() {
     let parsed = Json::parse(&text).expect("document must parse with the workspace parser");
 
     assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(REPORT_SCHEMA));
+    // v3: the top-level obs health section survives the hand-rolled
+    // writer.
+    assert_eq!(
+        parsed.get("obs").and_then(|o| o.get("sink_write_errors")).and_then(Json::as_f64),
+        Some(0.0),
+        "no trace sink runs during report generation"
+    );
     let records = parsed.get("records").and_then(Json::as_arr).expect("records array");
     assert_eq!(records.len(), 2);
     for record in records {
@@ -78,6 +98,8 @@ fn report_document_matches_the_v2_schema() {
             ("bdd", &BDD_KEYS[..]),
             ("percentiles", &PERCENTILE_KEYS[..]),
             ("mem", &MEM_KEYS[..]),
+            ("analytics", &ANALYTICS_KEYS[..]),
+            ("timeseries", &TIMESERIES_KEYS[..]),
             ("decomp", &DECOMP_KEYS[..]),
         ] {
             let obj = record.get(section).unwrap_or_else(|| panic!("{section} section"));
@@ -108,6 +130,22 @@ fn report_document_matches_the_v2_schema() {
             "mem components must sum to the total"
         );
         assert!(get("peak_bytes") >= get("total_bytes"));
+        // v3: analytics and the time series carry real measurements.
+        let analytics = record.get("analytics").expect("analytics");
+        let entries = analytics
+            .get("unique_table")
+            .and_then(|t| t.get("entries"))
+            .and_then(Json::as_f64)
+            .expect("probe entries");
+        assert!(entries > 0.0, "live nodes populate the unique table");
+        let ops = analytics.get("computed_cache_by_op").and_then(Json::as_arr).expect("per-op");
+        assert!(
+            ops.iter().any(|o| o.get("lookups").and_then(Json::as_f64).unwrap_or(0.0) > 0.0),
+            "computed cache saw traffic"
+        );
+        let samples =
+            record.get("timeseries").and_then(|t| t.get("samples")).and_then(Json::as_arr);
+        assert!(!samples.expect("samples array").is_empty(), "sampler fired during the run");
         // Spot-check semantics, not just shape.
         assert_eq!(record.get("verified").and_then(Json::as_bool), Some(true));
         let decomp = record.get("decomp").expect("decomp");

@@ -4,11 +4,30 @@
 //! quantifier cubes internally; the caller can also use the `_cubes`
 //! variants inside grouping loops to reuse pre-built cubes.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use bdd::{Bdd, Func, VarId, VarSet};
 
 use crate::Isf;
+
+/// Process-global count of theorem checks evaluated (Theorem 1 and its
+/// AND dual, Theorem 2 pairs, weak-usefulness tests). Monotonic; cost
+/// attribution reads *deltas* around each recursive call, so the absolute
+/// value (shared across tests in one process) never matters. Follows the
+/// same process-global pattern as the mutation switch below — the check
+/// functions only see a `&mut Bdd`, so there is nowhere per-run to hang
+/// the counter without widening every grouping-loop signature.
+static THEOREM_CHECKS: AtomicU64 = AtomicU64::new(0);
+
+/// Total theorem checks evaluated by this process so far.
+pub fn theorem_checks() -> u64 {
+    THEOREM_CHECKS.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn note_check() {
+    THEOREM_CHECKS.fetch_add(1, Ordering::Relaxed);
+}
 
 /// Deliberate-fault switch used by the differential fuzz harness to prove
 /// it can catch real bugs: when enabled, [`or_decomposable_cubes`]
@@ -43,6 +62,7 @@ pub fn or_decomposable(mgr: &mut Bdd, isf: &Isf, xa: &VarSet, xb: &VarSet) -> bo
 
 /// [`or_decomposable`] with pre-built quantifier cubes.
 pub fn or_decomposable_cubes(mgr: &mut Bdd, isf: &Isf, xa_cube: Func, xb_cube: Func) -> bool {
+    note_check();
     let ra = mgr.exists(isf.r, xa_cube);
     let rb = if or_check_mutation_enabled() {
         mgr.forall(isf.r, xb_cube)
@@ -72,6 +92,7 @@ pub fn and_decomposable_cubes(mgr: &mut Bdd, isf: &Isf, xa_cube: Func, xb_cube: 
 /// `Q_D = ∃xa Q · ∃xa R` (derivative must be 1), `R_D = ∀xa Q + ∀xa R`
 /// (derivative must be 0). Decomposable iff `Q_D · ∃xb R_D = 0`.
 pub fn exor_decomposable_pair(mgr: &mut Bdd, isf: &Isf, xa: VarId, xb: VarId) -> bool {
+    note_check();
     let (qd, rd) = derivative(mgr, isf, xa);
     let cb = mgr.cube(&VarSet::singleton(xb));
     let erd = mgr.exists(rd, cb);
@@ -99,6 +120,7 @@ pub fn derivative(mgr: &mut Bdd, isf: &Isf, v: VarId) -> (Func, Func) {
 ///
 /// Condition (Table 1): `Q · ∃X_A R ≠ Q`.
 pub fn weak_or_useful(mgr: &mut Bdd, isf: &Isf, xa: &VarSet) -> bool {
+    note_check();
     let ca = mgr.cube(xa);
     let er = mgr.exists(isf.r, ca);
     let qa = mgr.and(isf.q, er);

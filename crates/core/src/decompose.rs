@@ -21,6 +21,41 @@ pub struct Component {
     pub signal: SignalId,
 }
 
+/// Reuse statistics of the §6 component cache (one bucket of candidate
+/// components per support set).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ComponentCacheStats {
+    /// Distinct support sets with at least one cached component.
+    pub support_sets: usize,
+    /// Total cached components across all buckets.
+    pub components: usize,
+    /// Largest bucket (components sharing one support set).
+    pub max_bucket: usize,
+    /// Lookups resolved by a cached component as-is.
+    pub hits: usize,
+    /// Lookups resolved by a cached component complemented (Theorem 6's
+    /// free inverter).
+    pub complement_hits: usize,
+}
+
+impl ComponentCacheStats {
+    /// Hits of either polarity.
+    pub fn total_hits(&self) -> usize {
+        self.hits + self.complement_hits
+    }
+
+    /// The stats as a JSON object (the `component_cache` part of the
+    /// report's `analytics` section).
+    pub fn to_json(&self) -> obs::json::Json {
+        obs::json::Json::obj()
+            .field("support_sets", self.support_sets)
+            .field("components", self.components)
+            .field("max_bucket", self.max_bucket)
+            .field("hits", self.hits)
+            .field("complement_hits", self.complement_hits)
+    }
+}
+
 /// The bi-decomposition engine.
 ///
 /// Owns the BDD manager and the netlist under construction. Typical use:
@@ -175,7 +210,7 @@ impl Decomposer {
 
     fn record(&mut self, step: Step) {
         if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent { depth: self.depth.saturating_sub(1), step });
+            trace.push(TraceEvent::new(self.depth.saturating_sub(1), step));
         }
     }
 
@@ -213,6 +248,18 @@ impl Decomposer {
     /// Accumulated statistics.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Reuse statistics of the component cache (cheap: one pass over the
+    /// bucket lengths).
+    pub fn component_cache_stats(&self) -> ComponentCacheStats {
+        ComponentCacheStats {
+            support_sets: self.cache.len(),
+            components: self.cache.values().map(Vec::len).sum(),
+            max_bucket: self.cache.values().map(Vec::len).max().unwrap_or(0),
+            hits: self.stats.cache_hits,
+            complement_hits: self.stats.cache_hits_complement,
+        }
     }
 
     /// Declares a named primary output driven by a decomposed component.
@@ -269,7 +316,36 @@ impl Decomposer {
             t.depth_hist[self.depth - 1] += 1;
             t.peak_live_nodes = t.peak_live_nodes.max(self.mgr.total_nodes());
         }
+        // Cost attribution: only when *both* tracing (somewhere to put
+        // the cost) and telemetry (the opt-in for measurement overhead)
+        // are on; the disabled path pays these two `Option` tests and
+        // nothing else.
+        let probe = match (&self.trace, &self.telemetry) {
+            (Some(trace), Some(_)) => Some((
+                trace.len(),
+                std::time::Instant::now(),
+                self.mgr.op_stats(),
+                crate::check::theorem_checks(),
+            )),
+            _ => None,
+        };
         let comp = self.bidecompose_inner(isf_in);
+        if let Some((idx, start, ops_before, checks_before)) = probe {
+            let ops = self.mgr.op_stats();
+            let cost = crate::trace::CallCost {
+                elapsed_ns: start.elapsed().as_nanos() as u64,
+                nodes_allocated: (ops.mk_calls - ops_before.mk_calls)
+                    .saturating_sub(ops.unique_hits - ops_before.unique_hits),
+                cache_lookups: ops.cache_lookups - ops_before.cache_lookups,
+                cache_hits: ops.cache_hits - ops_before.cache_hits,
+                theorem_checks: crate::check::theorem_checks() - checks_before,
+            };
+            // Every call records exactly one event, and it is the first
+            // one this call pushes — so `idx` is this call's event.
+            if let Some(event) = self.trace.as_mut().and_then(|t| t.get_mut(idx)) {
+                event.cost = Some(cost);
+            }
+        }
         self.depth -= 1;
         comp
     }

@@ -7,12 +7,13 @@
 
 use std::time::{Duration, Instant};
 
-use bdd::{reorder, Bdd, Func, MemReport, OpStats};
+use bdd::{reorder, Analytics, Bdd, Func, MemReport, OpStats};
 use netlist::Netlist;
 use obs::json::Json;
-use obs::{Histogram, Recorder};
+use obs::{Histogram, Recorder, TimeSeries};
 use pla::{Pla, Trit};
 
+use crate::decompose::ComponentCacheStats;
 use crate::{verify, Decomposer, Isf, Options, Stats};
 
 /// Wall-clock time of each phase of the [`decompose_pla`] flow.
@@ -80,6 +81,17 @@ pub struct DecompOutcome {
     /// sampled across the run (at every GC, after every output, and at
     /// the end).
     pub mem: MemReport,
+    /// Structured cache/GC analytics from the BDD manager. `None` unless
+    /// [`Options::telemetry`] is on or a recorder was attached (building
+    /// it walks the unique table once).
+    pub analytics: Option<Analytics>,
+    /// Component-cache reuse statistics (§6). Always populated; costs one
+    /// pass over the bucket lengths.
+    pub component_cache: ComponentCacheStats,
+    /// Resource time-series sampled after each output, after each
+    /// driver-initiated GC and at the end of the run. Empty unless
+    /// [`Options::telemetry`] is on or a recorder was attached.
+    pub timeseries: TimeSeries,
 }
 
 /// Builds the specification ISFs of every PLA output inside `mgr`.
@@ -185,11 +197,13 @@ pub fn decompose_pla_with_recorder(
     if let Some(rec) = &recorder {
         dec.set_recorder(rec.clone());
     }
-    if options.telemetry || recorder.is_some() {
+    let instrumented = options.telemetry || recorder.is_some();
+    if instrumented {
         dec.manager().enable_op_timing();
     }
     let mut phases = PhaseTimes::default();
     let mut output_latency = Histogram::new();
+    let mut timeseries = TimeSeries::new(obs::timeseries::DEFAULT_CAPACITY);
 
     let t = Instant::now();
     {
@@ -223,6 +237,9 @@ pub fn decompose_pla_with_recorder(
             components.push(comp);
             peak_nodes = peak_nodes.max(dec.manager().total_nodes());
             dec.manager().sample_mem();
+            if instrumented {
+                sample_resources(&mut timeseries, dec.manager(), start, "output");
+            }
             if dec.manager().total_nodes() > options.gc_threshold {
                 // Keep the remaining specifications and finished components.
                 let mut roots: Vec<Func> = components.iter().map(|c| c.func).collect();
@@ -235,6 +252,9 @@ pub fn decompose_pla_with_recorder(
                     roots.push(isf.r);
                 }
                 dec.gc(&roots);
+                if instrumented {
+                    sample_resources(&mut timeseries, dec.manager(), start, "gc");
+                }
             }
         }
     }
@@ -245,6 +265,7 @@ pub fn decompose_pla_with_recorder(
     peak_nodes = peak_nodes.max(dec.peak_live_nodes());
     let depth_histogram = dec.depth_histogram().to_vec();
     let trace = dec.take_trace();
+    let component_cache = dec.component_cache_stats();
     let (netlist, stats, mut mgr) = dec.into_parts();
 
     let t = Instant::now();
@@ -258,6 +279,9 @@ pub fn decompose_pla_with_recorder(
 
     peak_nodes = peak_nodes.max(mgr.total_nodes());
     mgr.sample_mem();
+    if instrumented {
+        sample_resources(&mut timeseries, &mgr, start, "end");
+    }
     mgr.emit_gauges();
     drop(run_span);
     if let Some(rec) = &recorder {
@@ -276,7 +300,27 @@ pub fn decompose_pla_with_recorder(
         output_latency,
         op_latency: mgr.op_latency().cloned(),
         mem: mgr.mem_report(),
+        analytics: instrumented.then(|| mgr.analytics()),
+        component_cache,
+        timeseries,
     }
+}
+
+/// Pushes one resource sample from the manager's tables onto the run's
+/// time series (the sampling hooks: after each output, after each
+/// driver-initiated GC, at the end of the run).
+fn sample_resources(ts: &mut TimeSeries, mgr: &Bdd, run_start: Instant, label: &'static str) {
+    let mem = mgr.mem_report();
+    let ops = mgr.op_stats();
+    ts.record(
+        run_start.elapsed().as_secs_f64(),
+        label,
+        mgr.total_nodes() as u64,
+        mem.unique_table_bytes as u64,
+        mem.computed_cache_bytes as u64,
+        mem.node_slab_bytes as u64,
+        ops.apply_steps,
+    );
 }
 
 #[cfg(test)]
@@ -448,6 +492,31 @@ mod tests {
         let ops = outcome.op_latency.as_ref().expect("telemetry enables op timing");
         assert!(ops.count() > 0, "manager operators must have recorded samples");
         assert!(ops.p50_ns() <= ops.p99_ns() && ops.p99_ns() <= ops.max_ns());
+    }
+
+    #[test]
+    fn forensics_fields_follow_the_telemetry_opt_in() {
+        let pla: Pla = ".i 3\n.o 2\n111 10\n-11 01\n.e\n".parse().expect("valid");
+        let plain = decompose_pla(&pla, &Options::default());
+        // Without telemetry the sampler never fires and analytics stay off…
+        assert!(plain.analytics.is_none());
+        assert!(plain.timeseries.is_empty());
+        // …while component-cache stats are plain bookkeeping, always on.
+        assert!(plain.component_cache.components >= plain.component_cache.support_sets);
+        let rich = decompose_pla(&pla, &Options { telemetry: true, ..Options::default() });
+        let analytics = rich.analytics.as_ref().expect("telemetry enables analytics");
+        assert!(analytics.probe.entries > 0, "unique table holds live nodes");
+        assert!(
+            analytics.cache_by_op.iter().any(|op| op.lookups > 0),
+            "the decomposition exercises the computed cache"
+        );
+        // One "output" sample per PLA output plus the final "end" sample.
+        assert!(rich.timeseries.len() >= 3);
+        let last = rich.timeseries.latest().expect("non-empty series");
+        assert_eq!(last.label, "end");
+        assert!(last.live_nodes >= 2);
+        assert!(last.total_bytes() > 0);
+        assert_eq!(rich.timeseries.samples().filter(|s| s.label == "output").count(), 2);
     }
 
     #[test]

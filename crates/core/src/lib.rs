@@ -45,6 +45,10 @@
 //!   the component-reuse cache (Theorem 6).
 //! * [`decompose_pla`] / [`verify`] — the end-to-end driver and the
 //!   BDD-based verifier.
+//! * [`trace`] / [`trace::tree`] — cost-attributed decomposition traces
+//!   and tree reconstruction with inclusive/exclusive rollups.
+//! * [`doctor`] — anomaly detection over a finished run (cache thrash,
+//!   Shannon storms, memory cliffs, …).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,6 +56,7 @@
 pub mod check;
 mod decompose;
 pub mod derive;
+pub mod doctor;
 mod driver;
 pub mod exor;
 mod export;
@@ -62,7 +67,7 @@ mod stats;
 pub mod trace;
 pub mod verify;
 
-pub use decompose::{Component, Decomposer};
+pub use decompose::{Component, ComponentCacheStats, Decomposer};
 pub use driver::{
     decompose_pla, decompose_pla_with_recorder, isfs_from_pla, DecompOutcome, PhaseTimes,
 };

@@ -1,6 +1,13 @@
 //! Decomposition tracing: a structured record of the recursion — the
 //! paper's "decomposition tree" (`AddGateToDecompositionTree`), exposed
 //! for inspection, debugging and documentation.
+//!
+//! Each [`TraceEvent`] optionally carries a [`CallCost`]: per-call wall
+//! time, BDD nodes allocated, computed-cache traffic and theorem-check
+//! counts, captured as deltas on the manager's counters when both
+//! `Options::trace` and `Options::telemetry` are on. The [`tree`]
+//! submodule reconstructs the decomposition tree from the flat event
+//! stream and rolls those costs up inclusively/exclusively.
 
 use std::fmt::Write as _;
 use std::io;
@@ -10,6 +17,8 @@ use obs::json::Json;
 use obs::{Event, JsonlSink, Sink as _};
 
 use crate::GateChoice;
+
+pub mod tree;
 
 /// What one recursive `BiDecompose` call did.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -48,21 +57,86 @@ pub enum Step {
     },
 }
 
-/// One trace record: the recursion depth and the step taken.
+/// Measured cost of one recursive `BiDecompose` call, captured as deltas
+/// on the manager's counters around the call. All figures are
+/// *inclusive* (they cover the whole subtree rooted at the call); use
+/// [`tree::DecompTree`] for exclusive (own-cost) figures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CallCost {
+    /// Wall-clock time of the call, nanoseconds.
+    pub elapsed_ns: u64,
+    /// BDD nodes constructed (`mk` calls minus unique-table hits).
+    pub nodes_allocated: u64,
+    /// Computed-cache lookups issued.
+    pub cache_lookups: u64,
+    /// Computed-cache hits among those lookups.
+    pub cache_hits: u64,
+    /// Theorem checks evaluated (Theorems 1/2 and weak-usefulness).
+    pub theorem_checks: u64,
+}
+
+impl std::ops::Add for CallCost {
+    type Output = CallCost;
+
+    /// Component-wise sum.
+    fn add(self, other: CallCost) -> CallCost {
+        CallCost {
+            elapsed_ns: self.elapsed_ns + other.elapsed_ns,
+            nodes_allocated: self.nodes_allocated + other.nodes_allocated,
+            cache_lookups: self.cache_lookups + other.cache_lookups,
+            cache_hits: self.cache_hits + other.cache_hits,
+            theorem_checks: self.theorem_checks + other.theorem_checks,
+        }
+    }
+}
+
+impl CallCost {
+    /// Component-wise saturating difference (used for exclusive costs,
+    /// where timer jitter could otherwise underflow).
+    pub fn saturating_sub(self, other: CallCost) -> CallCost {
+        CallCost {
+            elapsed_ns: self.elapsed_ns.saturating_sub(other.elapsed_ns),
+            nodes_allocated: self.nodes_allocated.saturating_sub(other.nodes_allocated),
+            cache_lookups: self.cache_lookups.saturating_sub(other.cache_lookups),
+            cache_hits: self.cache_hits.saturating_sub(other.cache_hits),
+            theorem_checks: self.theorem_checks.saturating_sub(other.theorem_checks),
+        }
+    }
+
+    /// The cost as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("elapsed_ns", self.elapsed_ns)
+            .field("nodes_allocated", self.nodes_allocated)
+            .field("cache_lookups", self.cache_lookups)
+            .field("cache_hits", self.cache_hits)
+            .field("theorem_checks", self.theorem_checks)
+    }
+}
+
+/// One trace record: the recursion depth, the step taken, and (when
+/// telemetry is on) the measured cost of the call.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TraceEvent {
     /// Recursion depth of the `BiDecompose` call (0 = a top-level call).
     pub depth: usize,
     /// What the call did.
     pub step: Step,
+    /// Inclusive per-call cost; `None` unless both tracing and telemetry
+    /// were enabled for the run.
+    pub cost: Option<CallCost>,
 }
 
 impl TraceEvent {
+    /// An event with no cost attribution (the plain-tracing shape).
+    pub fn new(depth: usize, step: Step) -> Self {
+        TraceEvent { depth, step, cost: None }
+    }
     /// The event as a JSON object (the per-line shape of
     /// [`write_trace_jsonl`]).
     pub fn to_json(&self) -> Json {
         let base = Json::obj().field("depth", self.depth);
-        match &self.step {
+        let base = match &self.step {
             Step::CacheHit { complemented } => {
                 base.field("step", "cache_hit").field("complemented", *complemented)
             }
@@ -76,6 +150,10 @@ impl TraceEvent {
                 base.field("step", "weak").field("gate", gate.name()).field("xa", xa.to_string())
             }
             Step::Shannon { var } => base.field("step", "shannon").field("var", *var as u64),
+        };
+        match &self.cost {
+            Some(cost) => base.field("cost", cost.to_json()),
+            None => base,
         }
     }
 
@@ -88,18 +166,22 @@ impl TraceEvent {
 
 /// Streams a decomposition trace through an [`obs::JsonlSink`]: one
 /// machine-readable line per recursive call (consumed by the `stats`
-/// binary's `--trace-out`). Per-line write errors are swallowed (sinks are
-/// observability, not control flow); the final flush is fallible.
+/// binary's `--trace-out`). Per-line write failures do not abort the
+/// stream (sinks are observability, not control flow) but they are
+/// *counted*: the returned value is the number of lines that failed to
+/// write, for an `obs.sink.write_errors` counter or a run-report field.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the closing flush of the writer.
-pub fn write_trace_jsonl<W: io::Write>(trace: &[TraceEvent], writer: W) -> io::Result<()> {
+pub fn write_trace_jsonl<W: io::Write>(trace: &[TraceEvent], writer: W) -> io::Result<u64> {
     let mut sink = JsonlSink::new(writer);
+    let errors = sink.write_errors();
     for event in trace {
         sink.accept(&event.to_point());
     }
-    sink.into_inner().flush()
+    sink.into_inner().flush()?;
+    Ok(errors.get())
 }
 
 /// Renders a trace as an indented tree, one line per recursive call.
@@ -110,13 +192,13 @@ pub fn write_trace_jsonl<W: io::Write>(trace: &[TraceEvent], writer: W) -> io::R
 /// use bdd::VarSet;
 ///
 /// let trace = vec![
-///     TraceEvent { depth: 0, step: Step::Strong {
+///     TraceEvent::new(0, Step::Strong {
 ///         gate: GateChoice::Or,
 ///         xa: VarSet::from_iter([2u32, 3]),
 ///         xb: VarSet::from_iter([0u32, 1]),
-///     }},
-///     TraceEvent { depth: 1, step: Step::Terminal { desc: "and(x2, x3)".into() } },
-///     TraceEvent { depth: 1, step: Step::Terminal { desc: "and(x0, x1)".into() } },
+///     }),
+///     TraceEvent::new(1, Step::Terminal { desc: "and(x2, x3)".into() }),
+///     TraceEvent::new(1, Step::Terminal { desc: "and(x0, x1)".into() }),
 /// ];
 /// let text = render_trace(&trace);
 /// assert!(text.contains("or  XA={x2,x3} XB={x0,x1}"));
@@ -159,16 +241,16 @@ mod tests {
     #[test]
     fn rendering_indents_by_depth() {
         let trace = vec![
-            TraceEvent {
-                depth: 0,
-                step: Step::Strong {
+            TraceEvent::new(
+                0,
+                Step::Strong {
                     gate: GateChoice::Exor,
                     xa: VarSet::singleton(0),
                     xb: VarSet::singleton(1),
                 },
-            },
-            TraceEvent { depth: 1, step: Step::Terminal { desc: "x0".into() } },
-            TraceEvent { depth: 1, step: Step::CacheHit { complemented: true } },
+            ),
+            TraceEvent::new(1, Step::Terminal { desc: "x0".into() }),
+            TraceEvent::new(1, Step::CacheHit { complemented: true }),
         ];
         let text = render_trace(&trace);
         let lines: Vec<&str> = text.lines().collect();
@@ -184,19 +266,53 @@ mod tests {
     }
 
     #[test]
+    fn cost_attribution_serializes_only_when_present() {
+        let mut ev = TraceEvent::new(0, Step::Shannon { var: 1 });
+        assert!(ev.to_json().get("cost").is_none(), "no cost field without telemetry");
+        ev.cost = Some(CallCost {
+            elapsed_ns: 5,
+            nodes_allocated: 2,
+            cache_lookups: 3,
+            cache_hits: 1,
+            theorem_checks: 4,
+        });
+        let json = ev.to_json();
+        let cost = json.get("cost").expect("cost object");
+        assert_eq!(cost.get("elapsed_ns").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(cost.get("nodes_allocated").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(cost.get("theorem_checks").and_then(Json::as_f64), Some(4.0));
+    }
+
+    #[test]
+    fn call_cost_arithmetic_saturates() {
+        let a = CallCost {
+            elapsed_ns: 10,
+            nodes_allocated: 5,
+            cache_lookups: 8,
+            cache_hits: 2,
+            theorem_checks: 1,
+        };
+        let b = CallCost { elapsed_ns: 15, ..CallCost::default() };
+        assert_eq!((a + b).elapsed_ns, 25);
+        let d = a.saturating_sub(b);
+        assert_eq!(d.elapsed_ns, 0, "timer jitter must not underflow");
+        assert_eq!(d.nodes_allocated, 5);
+    }
+
+    #[test]
     fn trace_events_round_trip_through_jsonl() {
         let trace = vec![
-            TraceEvent {
-                depth: 0,
-                step: Step::Strong {
+            TraceEvent::new(
+                0,
+                Step::Strong {
                     gate: GateChoice::Or,
                     xa: VarSet::singleton(2),
                     xb: VarSet::singleton(0),
                 },
-            },
-            TraceEvent { depth: 1, step: Step::Terminal { desc: "and(x0, ¬x1)".into() } },
-            TraceEvent { depth: 1, step: Step::CacheHit { complemented: true } },
-            TraceEvent { depth: 2, step: Step::Shannon { var: 3 } },
+            ),
+            TraceEvent::new(1, Step::Terminal { desc: "and(x0, ¬x1)".into() }),
+            TraceEvent::new(1, Step::CacheHit { complemented: true }),
+            TraceEvent::new(2, Step::Shannon { var: 3 }),
         ];
         let buf = obs::SharedBuf::new();
         write_trace_jsonl(&trace, buf.clone()).expect("in-memory write");

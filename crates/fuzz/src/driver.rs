@@ -40,6 +40,10 @@ pub struct FuzzConfig {
     pub pool: Vec<Pla>,
     /// Telemetry sink for counters and spans.
     pub recorder: Option<Recorder>,
+    /// Run every passing case past the decomposition doctor
+    /// ([`bidecomp::doctor`]) and accumulate finding counts — fuzzing
+    /// doubles as a hunt for pathological-but-correct inputs.
+    pub doctor: bool,
 }
 
 impl Default for FuzzConfig {
@@ -53,6 +57,7 @@ impl Default for FuzzConfig {
             max_failures: 5,
             pool: Vec::new(),
             recorder: None,
+            doctor: false,
         }
     }
 }
@@ -86,6 +91,9 @@ pub struct FuzzReport {
     pub operator_checks: u64,
     /// Failures found (empty = clean run).
     pub failures: Vec<CaseFailure>,
+    /// Doctor finding counts `(info, warning, error)` accumulated across
+    /// passing cases; `None` when [`FuzzConfig::doctor`] was off.
+    pub doctor_findings: Option<(u64, u64, u64)>,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
 }
@@ -112,6 +120,19 @@ fn record_count(recorder: &Option<Recorder>, name: &str, delta: u64) {
     if let Some(rec) = recorder {
         rec.count(name, delta);
     }
+}
+
+/// Diagnoses one passing case and folds the finding counts into the
+/// report (and the `fuzz.doctor.findings` counter).
+fn note_doctor(cfg: &FuzzConfig, report: &mut FuzzReport, pla: &Pla) {
+    use bidecomp::doctor::{diagnose_pla, DoctorConfig};
+    let (_, doc) = diagnose_pla(pla, &bidecomp::Options::default(), &DoctorConfig::default());
+    let (info, warning, error) = doc.counts();
+    let counts = report.doctor_findings.get_or_insert((0, 0, 0));
+    counts.0 += info as u64;
+    counts.1 += warning as u64;
+    counts.2 += error as u64;
+    record_count(&cfg.recorder, "fuzz.doctor.findings", (info + warning + error) as u64);
 }
 
 /// Handles one failing case: shrink it (unless the config's shrink
@@ -155,6 +176,9 @@ pub fn run(cfg: &FuzzConfig) -> FuzzReport {
     let mut pool = cfg.pool.clone();
     pool.retain(|p| p.num_inputs() <= gen::MAX_INPUTS && !p.cubes().is_empty());
     let mut report = FuzzReport::default();
+    if cfg.doctor {
+        report.doctor_findings = Some((0, 0, 0));
+    }
 
     for i in 0..cfg.iters {
         if cfg.time_budget.is_some_and(|budget| start.elapsed() >= budget) {
@@ -168,6 +192,9 @@ pub fn run(cfg: &FuzzConfig) -> FuzzReport {
             Ok(checks) => {
                 report.operator_checks += checks;
                 record_count(&cfg.recorder, "fuzz.checks", checks);
+                if cfg.doctor {
+                    note_doctor(cfg, &mut report, &case.pla);
+                }
                 // Passing cases feed the mutation generator.
                 if pool.len() < MUTATION_POOL_CAP {
                     pool.push(case.pla);
@@ -205,6 +232,9 @@ pub fn replay(cases: &[(String, Pla)], cfg: &FuzzConfig) -> FuzzReport {
     // Corpus cases are already minimal: disable shrinking on replay.
     let cfg = FuzzConfig { shrink_checks: 0, ..cfg.clone() };
     let mut report = FuzzReport::default();
+    if cfg.doctor {
+        report.doctor_findings = Some((0, 0, 0));
+    }
     for (i, (name, pla)) in cases.iter().enumerate() {
         report.cases += 1;
         record_count(&cfg.recorder, "fuzz.cases", 1);
@@ -212,6 +242,9 @@ pub fn replay(cases: &[(String, Pla)], cfg: &FuzzConfig) -> FuzzReport {
             Ok(checks) => {
                 report.operator_checks += checks;
                 record_count(&cfg.recorder, "fuzz.checks", checks);
+                if cfg.doctor {
+                    note_doctor(&cfg, &mut report, pla);
+                }
             }
             Err(failure) => {
                 handle_failure(&cfg, &mut report, i as u64, name.clone(), pla, cfg.seed, failure);
@@ -245,6 +278,19 @@ mod tests {
         let report = run(&cfg);
         assert_eq!(rec.counter("fuzz.cases"), report.cases);
         assert_eq!(rec.counter("fuzz.checks"), report.operator_checks);
+    }
+
+    #[test]
+    fn doctor_counts_are_opt_in() {
+        let cfg = FuzzConfig { iters: 5, ..FuzzConfig::default() };
+        assert_eq!(run(&cfg).doctor_findings, None, "off by default");
+        let rec = Recorder::new();
+        rec.add_sink(Box::new(MemorySink::new()));
+        let cfg = FuzzConfig { doctor: true, recorder: Some(rec.clone()), ..cfg };
+        let report = run(&cfg);
+        let (info, warning, error) = report.doctor_findings.expect("doctor was on");
+        assert_eq!(error, 0, "tiny correct cases must not be pathological");
+        assert_eq!(rec.counter("fuzz.doctor.findings"), info + warning + error);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!   p50/p90/p99/max) embedded in run reports.
 //! * [`profile`] — span-tree exporters: Chrome `trace_event` JSON and
 //!   collapsed-stack flamegraph text.
+//! * [`TimeSeries`] — a bounded ring buffer of resource samples (nodes,
+//!   table/cache/slab bytes, op rate) serialized into run reports.
 //! * [`report`] — the shared rate/percentage formatting helpers.
 //! * [`bench`] — a small micro-benchmark harness (criterion substitute).
 //!
@@ -47,10 +49,12 @@ pub mod profile;
 mod recorder;
 pub mod report;
 mod sink;
+pub mod timeseries;
 
 pub use hist::Histogram;
 pub use recorder::{Recorder, Span};
-pub use sink::{Event, JsonlSink, MemorySink, SharedBuf, Sink, TextSink};
+pub use sink::{Event, JsonlSink, MemorySink, SharedBuf, Sink, TextSink, WriteErrors};
+pub use timeseries::TimeSeries;
 
 #[cfg(test)]
 mod tests {
@@ -185,6 +189,42 @@ mod tests {
             rec.count("n", 2);
         }
         assert!(buf.contents().contains("n += 2"), "TextSink must flush on drop");
+    }
+
+    #[test]
+    fn jsonl_sink_counts_failed_writes() {
+        use std::io::{self, Write};
+
+        /// A writer whose disk is always full.
+        struct BrokenWriter;
+        impl Write for BrokenWriter {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let rec = Recorder::new();
+        let sink = JsonlSink::new(BrokenWriter);
+        let errors = sink.write_errors();
+        rec.add_sink(Box::new(sink));
+        assert_eq!(errors.get(), 0);
+        rec.count("a", 1);
+        rec.count("b", 1);
+        rec.count("c", 1);
+        // Every line fails and is counted — the handle outlives our
+        // access to the sink itself.
+        assert_eq!(errors.get(), 3, "failed lines must be counted, not swallowed");
+
+        // A healthy sink stays at zero.
+        let healthy = JsonlSink::new(SharedBuf::new());
+        let clean = healthy.write_errors();
+        let rec2 = Recorder::new();
+        rec2.add_sink(Box::new(healthy));
+        rec2.count("ok", 1);
+        assert_eq!(clean.get(), 0);
     }
 
     #[test]

@@ -5,12 +5,41 @@
 //! the crate: a human-readable indented text sink and a JSON-lines sink
 //! for machine consumption; [`MemorySink`] captures events for tests.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::io::Write;
 use std::rc::Rc;
 use std::time::Duration;
 
 use crate::json::Json;
+
+/// A shared handle on a sink's write-error count.
+///
+/// Sinks swallow I/O failures by design — observability must never turn
+/// into control flow — but swallowing them *silently* hides a truncated
+/// trace file. [`JsonlSink`] counts every failed line here instead; keep
+/// a clone of the handle (see [`JsonlSink::write_errors`]) and surface
+/// the count in the run report or an `obs.sink.write_errors` counter.
+#[derive(Clone, Default, Debug)]
+pub struct WriteErrors {
+    errors: Rc<Cell<u64>>,
+}
+
+impl WriteErrors {
+    /// A fresh zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lines that failed to write so far.
+    pub fn get(&self) -> u64 {
+        self.errors.get()
+    }
+
+    /// Counts one failed write.
+    pub(crate) fn bump(&self) {
+        self.errors.set(self.errors.get() + 1);
+    }
+}
 
 /// One telemetry event.
 #[derive(Clone, PartialEq, Debug)]
@@ -151,12 +180,21 @@ pub struct JsonlSink<W: Write> {
     // `None` only after `into_inner` moved the writer out (the drop-flush
     // and `Drop` forbid a plain field move).
     out: Option<W>,
+    errors: WriteErrors,
 }
 
 impl<W: Write> JsonlSink<W> {
     /// Creates a JSONL sink writing to `out`.
     pub fn new(out: W) -> Self {
-        JsonlSink { out: Some(out) }
+        JsonlSink { out: Some(out), errors: WriteErrors::new() }
+    }
+
+    /// A shared handle on the count of lines that failed to write.
+    ///
+    /// Clone it before handing the sink to a recorder; the handle keeps
+    /// reporting after the sink is gone.
+    pub fn write_errors(&self) -> WriteErrors {
+        self.errors.clone()
     }
 
     /// Consumes the sink, returning the writer (so callers can flush it
@@ -169,7 +207,9 @@ impl<W: Write> JsonlSink<W> {
 impl<W: Write> Sink for JsonlSink<W> {
     fn accept(&mut self, event: &Event) {
         if let Some(out) = &mut self.out {
-            let _ = writeln!(out, "{}", event.to_json().render());
+            if writeln!(out, "{}", event.to_json().render()).is_err() {
+                self.errors.bump();
+            }
         }
     }
 

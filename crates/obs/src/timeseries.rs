@@ -1,0 +1,229 @@
+//! A lightweight resource time-series sampler.
+//!
+//! [`TimeSeries`] is a bounded ring buffer of labelled resource
+//! [`Sample`]s (live node count, table/cache/slab bytes, operation rate).
+//! Producers push samples at the hooks they already have — after each
+//! output, after every GC, at the end of a run — and the whole series
+//! serializes into the run report (schema v3), so a memory cliff or an
+//! op-rate collapse is visible from the artifact alone.
+//!
+//! The sampler does no timing of its own: callers pass the run-relative
+//! timestamp, and the per-sample operation rate is derived from the delta
+//! of the cumulative operation count between consecutive samples. When
+//! the buffer is full the *oldest* samples are dropped (and counted), on
+//! the theory that the end of a run is where anomalies usually live.
+
+use std::collections::VecDeque;
+
+use crate::json::Json;
+
+/// One resource sample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Run-relative timestamp, seconds.
+    pub t_s: f64,
+    /// Which hook produced the sample (`"output"`, `"gc"`, `"end"`, …).
+    pub label: &'static str,
+    /// Live BDD nodes.
+    pub live_nodes: u64,
+    /// Unique-table bytes (capacity-based estimate).
+    pub table_bytes: u64,
+    /// Computed-cache bytes.
+    pub cache_bytes: u64,
+    /// Node-slab bytes.
+    pub slab_bytes: u64,
+    /// Operations per second since the previous sample (0 for the first
+    /// sample or a zero-width interval).
+    pub ops_per_s: f64,
+}
+
+impl Sample {
+    /// Total bytes across the three tracked allocations.
+    pub fn total_bytes(&self) -> u64 {
+        self.table_bytes + self.cache_bytes + self.slab_bytes
+    }
+
+    /// The sample as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("t_s", self.t_s)
+            .field("label", self.label)
+            .field("live_nodes", self.live_nodes)
+            .field("table_bytes", self.table_bytes)
+            .field("cache_bytes", self.cache_bytes)
+            .field("slab_bytes", self.slab_bytes)
+            .field("total_bytes", self.total_bytes())
+            .field("ops_per_s", self.ops_per_s)
+    }
+}
+
+/// Bounded ring buffer of resource samples.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    capacity: usize,
+    samples: VecDeque<Sample>,
+    dropped: u64,
+    /// `(t_s, cumulative_ops)` of the most recent sample, for op-rate
+    /// deltas.
+    last: Option<(f64, u64)>,
+}
+
+/// Default ring capacity: plenty for a per-output + per-GC cadence on the
+/// MCNC suite while keeping the serialized section small.
+pub const DEFAULT_CAPACITY: usize = 512;
+
+impl TimeSeries {
+    /// Creates an empty series retaining at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a time series needs room for at least one sample");
+        TimeSeries { capacity, ..TimeSeries::default() }
+    }
+
+    /// Records one sample. `cumulative_ops` is a monotonic operation
+    /// counter (e.g. total apply steps); the per-sample rate is derived
+    /// from its delta against the previous sample.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        t_s: f64,
+        label: &'static str,
+        live_nodes: u64,
+        table_bytes: u64,
+        cache_bytes: u64,
+        slab_bytes: u64,
+        cumulative_ops: u64,
+    ) {
+        let ops_per_s = match self.last {
+            Some((prev_t, prev_ops)) if t_s > prev_t => {
+                cumulative_ops.saturating_sub(prev_ops) as f64 / (t_s - prev_t)
+            }
+            _ => 0.0,
+        };
+        self.last = Some((t_s, cumulative_ops));
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+            self.dropped += 1;
+        }
+        self.samples.push_back(Sample {
+            t_s,
+            label,
+            live_nodes,
+            table_bytes,
+            cache_bytes,
+            slab_bytes,
+            ops_per_s,
+        });
+    }
+
+    /// Retained samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter()
+    }
+
+    /// The most recent sample, if any.
+    pub fn latest(&self) -> Option<&Sample> {
+        self.samples.back()
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Maximum retained samples (0 only for `TimeSeries::default()`,
+    /// which never records).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The series as a JSON object (the `timeseries` section of run
+    /// reports).
+    pub fn to_json(&self) -> Json {
+        let samples: Vec<Json> = self.samples.iter().map(Sample::to_json).collect();
+        Json::obj()
+            .field("capacity", self.capacity)
+            .field("dropped", self.dropped)
+            .field("samples", samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push(ts: &mut TimeSeries, t_s: f64, ops: u64) {
+        ts.record(t_s, "output", 10, 100, 200, 300, ops);
+    }
+
+    #[test]
+    fn first_sample_has_zero_rate_then_deltas() {
+        let mut ts = TimeSeries::new(8);
+        assert!(ts.is_empty());
+        push(&mut ts, 1.0, 1000);
+        push(&mut ts, 2.0, 3000);
+        push(&mut ts, 2.5, 4000);
+        let rates: Vec<f64> = ts.samples().map(|s| s.ops_per_s).collect();
+        assert_eq!(rates, vec![0.0, 2000.0, 2000.0]);
+        assert_eq!(ts.latest().unwrap().t_s, 2.5);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut ts = TimeSeries::new(3);
+        for i in 0..5 {
+            push(&mut ts, i as f64, i * 100);
+        }
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.dropped(), 2);
+        let times: Vec<f64> = ts.samples().map(|s| s.t_s).collect();
+        assert_eq!(times, vec![2.0, 3.0, 4.0], "oldest samples go first");
+        // Rates still use the *true* previous sample, not the retained one.
+        assert!(ts.samples().skip(1).all(|s| s.ops_per_s == 100.0));
+    }
+
+    #[test]
+    fn zero_width_interval_does_not_divide_by_zero() {
+        let mut ts = TimeSeries::new(4);
+        push(&mut ts, 1.0, 100);
+        push(&mut ts, 1.0, 900);
+        assert_eq!(ts.latest().unwrap().ops_per_s, 0.0);
+        // A counter that resets (reorder rebuild) must not underflow.
+        push(&mut ts, 2.0, 50);
+        assert_eq!(ts.latest().unwrap().ops_per_s, 0.0);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut ts = TimeSeries::new(4);
+        ts.record(0.5, "gc", 42, 1024, 2048, 512, 7_000);
+        let json = ts.to_json();
+        let parsed = Json::parse(&json.render()).expect("valid JSON");
+        assert_eq!(parsed.get("capacity").and_then(Json::as_f64), Some(4.0));
+        let samples = parsed.get("samples").and_then(Json::as_arr).unwrap();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].get("label").and_then(Json::as_str), Some("gc"));
+        assert_eq!(samples[0].get("total_bytes").and_then(Json::as_f64), Some(3584.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_capacity_is_rejected() {
+        let _ = TimeSeries::new(0);
+    }
+}
