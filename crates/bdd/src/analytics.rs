@@ -7,28 +7,23 @@
 //! section of run reports. Building an [`Analytics`] costs one pass over
 //! the unique table; nothing here runs on the operator hot path.
 
-use std::hash::{Hash, Hasher};
-
 use obs::json::Json;
 
-use crate::hash::FxHasher;
 use crate::manager::{Bdd, CacheOp};
 
-/// Unique-table probe-length distribution, *estimated* by re-hashing every
-/// key into an idealized power-of-two bucket array of the same capacity.
+/// Unique-table probe-length distribution, measured from the *real*
+/// intrusive chains.
 ///
-/// The standard-library table (hashbrown) does not expose its probe
-/// sequences, so this models the table as plain separate chaining: every
-/// key lands in `hash & (buckets - 1)` and `chain_histogram[k]` counts the
-/// buckets holding exactly `k` keys (the last bin aggregates `k >=
-/// MAX_CHAIN_BIN`). That is exactly the collision structure the real table
-/// has to resolve, whatever probing it uses, so a fat tail here is a fat
-/// tail there.
+/// The unique table is separate-chaining with the links stored inside the
+/// nodes, so the manager can walk every bucket's chain exactly:
+/// `chain_histogram[k]` counts the buckets holding exactly `k` nodes (the
+/// last bin aggregates `k >= MAX_CHAIN_BIN`), and `expected_probes` is the
+/// true mean probe count for a successful lookup.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct ProbeStats {
-    /// Modelled bucket count (capacity rounded up to a power of two).
+    /// Bucket count of the table (power of two).
     pub buckets: usize,
-    /// Keys hashed (= unique-table entries).
+    /// Nodes chained (= unique-table entries).
     pub entries: usize,
     /// Buckets holding at least one key.
     pub occupied_buckets: usize,
@@ -56,6 +51,28 @@ impl ProbeStats {
             .field("max_chain", self.max_chain)
             .field("chain_histogram", hist)
             .field("expected_probes", self.expected_probes)
+    }
+
+    /// Adds another table's distribution into this one (bucket counts and
+    /// histograms sum; expected probes re-weight by entries). Used when
+    /// combining per-worker managers.
+    pub fn merge(&mut self, other: &ProbeStats) {
+        let total = self.entries + other.entries;
+        if total > 0 {
+            self.expected_probes = (self.expected_probes * self.entries as f64
+                + other.expected_probes * other.entries as f64)
+                / total as f64;
+        }
+        self.buckets += other.buckets;
+        self.entries = total;
+        self.occupied_buckets += other.occupied_buckets;
+        self.max_chain = self.max_chain.max(other.max_chain);
+        if self.chain_histogram.len() < other.chain_histogram.len() {
+            self.chain_histogram.resize(other.chain_histogram.len(), 0);
+        }
+        for (i, &n) in other.chain_histogram.iter().enumerate() {
+            self.chain_histogram[i] += n;
+        }
     }
 }
 
@@ -179,33 +196,52 @@ impl Analytics {
             .field("gc", self.gc.to_json())
             .field("reorders", self.reorders)
     }
+
+    /// Folds another manager's section into this one (combining per-worker
+    /// managers into one run-level `analytics` section).
+    pub fn merge(&mut self, other: &Analytics) {
+        self.probe.merge(&other.probe);
+        for theirs in &other.cache_by_op {
+            match self.cache_by_op.iter_mut().find(|mine| mine.op == theirs.op) {
+                Some(mine) => {
+                    mine.lookups += theirs.lookups;
+                    mine.hits += theirs.hits;
+                }
+                None => self.cache_by_op.push(*theirs),
+            }
+        }
+        self.cache_by_op.sort_by(|a, b| {
+            a.hit_rate().partial_cmp(&b.hit_rate()).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        // Re-weight the mean by sample counts before concatenating.
+        let (n1, n2) = (self.gc.samples.len(), other.gc.samples.len());
+        if n1 + n2 > 0 {
+            self.gc.mean_reclaim_fraction = (self.gc.mean_reclaim_fraction * n1 as f64
+                + other.gc.mean_reclaim_fraction * n2 as f64)
+                / (n1 + n2) as f64;
+        }
+        self.gc.runs += other.gc.runs;
+        self.gc.nodes_reclaimed += other.gc.nodes_reclaimed;
+        self.gc.samples.extend(other.gc.samples.iter().copied());
+        self.gc.truncated += other.gc.truncated;
+        self.reorders += other.reorders;
+    }
 }
 
-/// Builds a [`ProbeStats`] from an iterator of hashable keys and the
-/// table's allocated capacity.
-pub(crate) fn probe_stats<K: Hash>(keys: impl Iterator<Item = K>, capacity: usize) -> ProbeStats {
-    let keys: Vec<K> = keys.collect();
-    if keys.is_empty() {
-        return ProbeStats { chain_histogram: vec![0], ..ProbeStats::default() };
-    }
-    // hashbrown keeps capacity at ~7/8 of its power-of-two bucket array;
-    // rounding the capacity up to a power of two recovers (approximately)
-    // the real bucket count.
-    let buckets = capacity.max(keys.len()).next_power_of_two();
-    let mut occupancy = vec![0u32; buckets];
-    for key in &keys {
-        let mut h = FxHasher::default();
-        key.hash(&mut h);
-        occupancy[(h.finish() as usize) & (buckets - 1)] += 1;
-    }
+/// Builds a [`ProbeStats`] from per-bucket chain lengths: one slot per
+/// bucket of the intrusive table, value = nodes chained there (the manager
+/// fills this by walking the real chains).
+pub(crate) fn probe_stats_from_occupancy(occupancy: &[u32]) -> ProbeStats {
     let mut chain_histogram = vec![0u64; MAX_CHAIN_BIN + 1];
+    let mut entries = 0usize;
     let mut occupied_buckets = 0;
     let mut max_chain = 0usize;
     // Σ occ·(occ+1)/2 probes over all chains, under "scan the chain from
     // its head" semantics.
     let mut probe_sum = 0u64;
-    for &occ in &occupancy {
+    for &occ in occupancy {
         let occ = occ as usize;
+        entries += occ;
         if occ == 0 {
             chain_histogram[0] += 1;
             continue;
@@ -216,12 +252,12 @@ pub(crate) fn probe_stats<K: Hash>(keys: impl Iterator<Item = K>, capacity: usiz
         probe_sum += (occ * (occ + 1) / 2) as u64;
     }
     ProbeStats {
-        buckets,
-        entries: keys.len(),
+        buckets: occupancy.len(),
+        entries,
         occupied_buckets,
         max_chain,
         chain_histogram,
-        expected_probes: probe_sum as f64 / keys.len() as f64,
+        expected_probes: if entries == 0 { 0.0 } else { probe_sum as f64 / entries as f64 },
     }
 }
 
@@ -320,10 +356,12 @@ mod tests {
 
     #[test]
     fn probe_stats_of_empty_and_single() {
-        let empty = probe_stats(std::iter::empty::<u32>(), 16);
+        let empty = probe_stats_from_occupancy(&[0; 16]);
         assert_eq!(empty.entries, 0);
         assert_eq!(empty.max_chain, 0);
-        let one = probe_stats([7u32].into_iter(), 0);
+        assert_eq!(empty.buckets, 16);
+        assert_eq!(empty.expected_probes, 0.0);
+        let one = probe_stats_from_occupancy(&[0, 1, 0, 0]);
         assert_eq!(one.entries, 1);
         assert_eq!(one.occupied_buckets, 1);
         assert_eq!(one.max_chain, 1);
@@ -331,34 +369,87 @@ mod tests {
     }
 
     #[test]
-    fn probe_stats_counts_every_key_once() {
-        let stats = probe_stats(0u32..1000, 1200);
-        assert_eq!(stats.entries, 1000);
-        assert!(stats.buckets.is_power_of_two());
-        // Histogram buckets weighted by chain length must cover every key.
+    fn probe_stats_counts_every_chained_node_once() {
+        // 512 buckets holding 0, 1, 2, 3 nodes in rotation.
+        let occupancy: Vec<u32> = (0..512u32).map(|b| b % 4).collect();
+        let stats = probe_stats_from_occupancy(&occupancy);
+        assert_eq!(stats.entries, 128 * (1 + 2 + 3));
+        assert_eq!(stats.buckets, 512);
+        assert_eq!(stats.occupied_buckets, 3 * 128);
+        assert_eq!(stats.max_chain, 3);
+        // Histogram buckets weighted by chain length must cover every node.
         let covered: u64 =
             stats.chain_histogram.iter().enumerate().map(|(k, &n)| k as u64 * n).sum();
-        // The last bin aggregates `>= MAX_CHAIN_BIN`, so coverage is a
-        // lower bound; with 1000 well-spread keys chains stay short.
-        assert!(covered >= stats.entries as u64 - 8, "covered {covered}");
-        assert!(stats.expected_probes >= 1.0);
-        assert!(stats.max_chain >= 1);
+        assert_eq!(covered, stats.entries as u64);
+        // 128·1 + 128·3 + 128·6 probes over 768 nodes.
+        let expected = (128 * (1 + 3 + 6)) as f64 / 768.0;
+        assert!((stats.expected_probes - expected).abs() < 1e-12);
         let json = stats.to_json();
         assert_eq!(
             json.get("entries").and_then(Json::as_f64),
-            Some(1000.0),
+            Some(768.0),
             "JSON mirrors the struct"
         );
     }
 
     #[test]
     fn degenerate_hashing_shows_a_fat_tail() {
-        // All-equal keys land in one bucket: worst case made visible.
-        let stats = probe_stats(std::iter::repeat_n(42u32, 20), 32);
+        // Every node chained into one bucket: worst case made visible.
+        let mut occupancy = vec![0u32; 32];
+        occupancy[7] = 20;
+        let stats = probe_stats_from_occupancy(&occupancy);
         assert_eq!(stats.occupied_buckets, 1);
         assert_eq!(stats.max_chain, 20);
         assert_eq!(*stats.chain_histogram.last().unwrap(), 1);
         assert!(stats.expected_probes > 10.0);
+    }
+
+    #[test]
+    fn analytics_merge_combines_workers() {
+        let mut a = Analytics {
+            probe: probe_stats_from_occupancy(&[1, 2, 0, 0]),
+            cache_by_op: vec![OpCacheStats { op: "and", lookups: 10, hits: 5 }],
+            gc: GcAnalytics {
+                runs: 1,
+                nodes_reclaimed: 4,
+                mean_reclaim_fraction: 0.5,
+                samples: vec![GcSample { nodes_before: 8, freed: 4, ..GcSample::default() }],
+                truncated: 0,
+            },
+            reorders: 1,
+        };
+        let b = Analytics {
+            probe: probe_stats_from_occupancy(&[3, 0, 0, 0]),
+            cache_by_op: vec![
+                OpCacheStats { op: "and", lookups: 10, hits: 9 },
+                OpCacheStats { op: "xor", lookups: 2, hits: 0 },
+            ],
+            gc: GcAnalytics {
+                runs: 2,
+                nodes_reclaimed: 6,
+                mean_reclaim_fraction: 1.0,
+                samples: vec![GcSample { nodes_before: 6, freed: 6, ..GcSample::default() }],
+                truncated: 3,
+            },
+            reorders: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.probe.entries, 6);
+        assert_eq!(a.probe.buckets, 8);
+        assert_eq!(a.probe.max_chain, 3);
+        let and = a.cache_by_op.iter().find(|s| s.op == "and").unwrap();
+        assert_eq!((and.lookups, and.hits), (20, 14));
+        assert!(a.cache_by_op.iter().any(|s| s.op == "xor"));
+        // Worst hit rate still sorts first after the merge.
+        for pair in a.cache_by_op.windows(2) {
+            assert!(pair[0].hit_rate() <= pair[1].hit_rate() + 1e-12);
+        }
+        assert_eq!(a.gc.runs, 3);
+        assert_eq!(a.gc.nodes_reclaimed, 10);
+        assert_eq!(a.gc.samples.len(), 2);
+        assert!((a.gc.mean_reclaim_fraction - 0.75).abs() < 1e-12);
+        assert_eq!(a.gc.truncated, 3);
+        assert_eq!(a.reorders, 1);
     }
 
     #[test]

@@ -15,6 +15,25 @@ pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
+#[inline]
+fn mix(state: u64, word: u64) -> u64 {
+    (state.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
+/// Direct Fx hash of a `(u32, u32, u32)` triple — the unique-table key —
+/// without going through the `Hasher` trait machinery.
+#[inline]
+pub(crate) fn hash3(a: u32, b: u32, c: u32) -> u64 {
+    mix(mix(mix(0, u64::from(a)), u64::from(b)), u64::from(c))
+}
+
+/// Direct Fx hash of an `(op, u32, u32, u32)` quadruple — the computed-cache
+/// key.
+#[inline]
+pub(crate) fn hash4(op: u8, a: u32, b: u32, c: u32) -> u64 {
+    mix(mix(mix(mix(0, u64::from(op)), u64::from(a)), u64::from(b)), u64::from(c))
+}
+
 /// Multiply-rotate hasher; not DoS-resistant, which is fine for internal
 /// tables keyed by node indices we generate ourselves.
 #[derive(Debug, Default, Clone)]
@@ -81,5 +100,20 @@ mod tests {
     #[test]
     fn empty_hash_is_stable() {
         assert_eq!(FxHasher::default().finish(), FxHasher::default().finish());
+    }
+
+    #[test]
+    fn direct_hashes_match_the_hasher_trait() {
+        let mut h = FxHasher::default();
+        h.write_u32(3);
+        h.write_u32(7);
+        h.write_u32(9);
+        assert_eq!(h.finish(), hash3(3, 7, 9));
+        let mut h = FxHasher::default();
+        h.write_u8(5);
+        h.write_u32(3);
+        h.write_u32(7);
+        h.write_u32(9);
+        assert_eq!(h.finish(), hash4(5, 3, 7, 9));
     }
 }

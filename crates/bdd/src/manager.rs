@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 use obs::json::Json;
 use obs::{Histogram, Recorder};
 
-use crate::hash::FxHashMap;
+use crate::hash::{self, FxHashMap};
 use crate::varset::MAX_VARS;
 
 /// Index of a BDD variable (`x0, x1, ..`).
@@ -15,6 +15,24 @@ pub type VarId = u32;
 
 /// Sentinel `var` field marking the two terminal nodes.
 const TERMINAL_VAR: u32 = u32::MAX;
+
+/// Sentinel `var` field marking a freed slot awaiting reuse. Freed slots are
+/// not in the unique table; the sentinel lets GC and table walks skip them
+/// without a side lookup. Safe because variables are capped at
+/// [`MAX_VARS`] (256), far below both sentinels.
+const FREE_VAR: u32 = u32::MAX - 1;
+
+/// End-of-chain marker in the intrusive unique table.
+const NIL: u32 = u32::MAX;
+
+/// Smallest unique-table bucket array; always a power of two.
+const MIN_BUCKETS: usize = 256;
+
+/// Old buckets moved per `mk` call while an incremental rehash is pending.
+const MIGRATE_STEP: usize = 4;
+
+/// Default size of the lossy computed cache, in entries.
+pub const DEFAULT_CACHE_ENTRIES: usize = 1 << 16;
 
 /// Level of the terminals: below every variable in any order.
 pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
@@ -73,6 +91,9 @@ pub(crate) struct Node {
     pub var: u32,
     pub low: Func,
     pub high: Func,
+    /// Next node in the same unique-table bucket (intrusive chaining,
+    /// BuDDy-style); [`NIL`] terminates the chain.
+    pub(crate) next: u32,
 }
 
 /// Operation tags for the computed cache.
@@ -157,6 +178,9 @@ pub struct OpStats {
     pub cache_lookups: u64,
     /// Computed-cache hits.
     pub cache_hits: u64,
+    /// Live computed-cache entries overwritten by a colliding insert (only
+    /// the lossy cache evicts; the unbounded shim never does).
+    pub cache_evictions: u64,
     /// Recursive `apply` steps across the binary operators.
     pub apply_steps: u64,
     /// Garbage collections run.
@@ -176,19 +200,43 @@ impl OpStats {
             self.cache_hits as f64 / self.cache_lookups as f64
         }
     }
+
+    /// Nodes actually constructed: `mk` calls minus unique-table hits (the
+    /// same proxy the trace costing uses).
+    pub fn nodes_allocated(&self) -> u64 {
+        self.mk_calls.saturating_sub(self.unique_hits)
+    }
+
+    /// Adds `other`'s counters into `self` (combining per-worker managers
+    /// into one run-level report).
+    pub fn merge(&mut self, other: &OpStats) {
+        self.mk_calls += other.mk_calls;
+        self.unique_hits += other.unique_hits;
+        self.cache_lookups += other.cache_lookups;
+        self.cache_hits += other.cache_hits;
+        self.cache_evictions += other.cache_evictions;
+        self.apply_steps += other.apply_steps;
+        self.gc_runs += other.gc_runs;
+        self.gc_nodes_reclaimed += other.gc_nodes_reclaimed;
+        self.gc_time += other.gc_time;
+    }
 }
 
 /// Heap footprint of the manager's three dominant allocations, in bytes
 /// (see [`Bdd::mem_report`]).
 ///
-/// All figures are *capacity*-based estimates: they count what the
-/// allocator holds for the manager, not just the live entries, because
-/// retained capacity is exactly what an out-of-memory investigation needs
-/// to see. Hash-table entries are costed at `size_of::<(K, V)>() + 1`
-/// control byte per slot (the hashbrown layout). `peak_bytes` is the
-/// largest total ever *sampled* — the manager samples at every GC and
-/// callers may add samples at their own pressure points
-/// ([`Bdd::sample_mem`]) — so a spike between samples can be missed.
+/// All figures are *capacity*-based: they count what the allocator holds
+/// for the manager, not just the live entries, because retained capacity is
+/// exactly what an out-of-memory investigation needs to see. The unique
+/// table is intrusive — chains live inside the node slab — so
+/// `unique_table_bytes` covers only the bucket-head arrays (4 bytes per
+/// bucket, both generations during an incremental rehash); the chain links
+/// are part of `node_slab_bytes`. The computed cache is a flat slot array
+/// (or a hashbrown map costed at `size_of::<(K, V)>() + 1` per slot when
+/// the unbounded shim is active). `peak_bytes` is the largest total ever
+/// *sampled* — the manager samples at every GC and callers may add samples
+/// at their own pressure points ([`Bdd::sample_mem`]) — so a spike between
+/// samples can be missed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct MemReport {
     /// Bytes held by the unique table (hash-consing map).
@@ -213,12 +261,152 @@ impl MemReport {
             .field("total_bytes", self.total_bytes)
             .field("peak_bytes", self.peak_bytes)
     }
+
+    /// Sums two reports component-wise. Peaks sum as well: per-worker
+    /// managers live concurrently, so the summed peak is an upper bound on
+    /// the true process-wide peak.
+    pub fn merge(&mut self, other: &MemReport) {
+        self.unique_table_bytes += other.unique_table_bytes;
+        self.computed_cache_bytes += other.computed_cache_bytes;
+        self.node_slab_bytes += other.node_slab_bytes;
+        self.total_bytes += other.total_bytes;
+        self.peak_bytes += other.peak_bytes;
+    }
 }
 
 /// Capacity-based byte estimate of a hashbrown-backed map: one flat slot
-/// of `(K, V)` plus one control byte per usable slot.
+/// of `(K, V)` plus one control byte per usable slot. Since the unique
+/// table went intrusive this only costs the unbounded-cache shim and the
+/// protected-roots map.
 fn map_bytes<K, V, S>(map: &std::collections::HashMap<K, V, S>) -> usize {
     map.capacity() * (std::mem::size_of::<(K, V)>() + 1)
+}
+
+/// One direct-mapped computed-cache slot. `op == SLOT_EMPTY_OP` marks an
+/// empty slot; real ops are the [`CacheOp`] discriminants (< 13).
+#[derive(Clone, Copy)]
+pub(crate) struct CacheSlot {
+    op: u8,
+    a: u32,
+    b: u32,
+    c: u32,
+    result: u32,
+}
+
+const SLOT_EMPTY_OP: u8 = u8::MAX;
+
+const EMPTY_SLOT: CacheSlot = CacheSlot { op: SLOT_EMPTY_OP, a: 0, b: 0, c: 0, result: 0 };
+
+/// The computed cache: lossy and fixed-size by default, with an unbounded
+/// hash-map shim kept for differential testing
+/// ([`Bdd::set_unbounded_cache`]).
+pub(crate) enum ComputedCache {
+    /// Direct-mapped: one slot per hash bucket, overwrite on collision.
+    /// `slots` is allocated lazily on the first insert so idle managers
+    /// stay small; `capacity` is a power of two.
+    Lossy { slots: Vec<CacheSlot>, capacity: usize, len: usize },
+    /// Unbounded map — the pre-kernel behaviour.
+    Unbounded(FxHashMap<CacheKey, u32>),
+}
+
+impl ComputedCache {
+    fn lossy(entries: usize) -> Self {
+        ComputedCache::Lossy {
+            slots: Vec::new(),
+            capacity: entries.max(1).next_power_of_two(),
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ComputedCache::Lossy { len, .. } => *len,
+            ComputedCache::Unbounded(map) => map.len(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            // Dropping to length 0 keeps the allocation; `put` re-fills it.
+            ComputedCache::Lossy { slots, len, .. } => {
+                slots.clear();
+                *len = 0;
+            }
+            ComputedCache::Unbounded(map) => map.clear(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, key: &CacheKey) -> Option<u32> {
+        match self {
+            ComputedCache::Lossy { slots, capacity, .. } => {
+                if slots.is_empty() {
+                    return None;
+                }
+                let op = key.op as u8;
+                let slot = &slots[hash::hash4(op, key.a, key.b, key.c) as usize & (capacity - 1)];
+                (slot.op == op && slot.a == key.a && slot.b == key.b && slot.c == key.c)
+                    .then_some(slot.result)
+            }
+            ComputedCache::Unbounded(map) => map.get(key).copied(),
+        }
+    }
+
+    /// Inserts `key → value`; returns `true` when a *different* live entry
+    /// was overwritten (an eviction).
+    #[inline]
+    fn put(&mut self, key: CacheKey, value: u32) -> bool {
+        match self {
+            ComputedCache::Lossy { slots, capacity, len } => {
+                if slots.is_empty() {
+                    slots.resize(*capacity, EMPTY_SLOT);
+                }
+                let op = key.op as u8;
+                let slot =
+                    &mut slots[hash::hash4(op, key.a, key.b, key.c) as usize & (*capacity - 1)];
+                let evicted = slot.op != SLOT_EMPTY_OP
+                    && !(slot.op == op && slot.a == key.a && slot.b == key.b && slot.c == key.c);
+                if slot.op == SLOT_EMPTY_OP {
+                    *len += 1;
+                }
+                *slot = CacheSlot { op, a: key.a, b: key.b, c: key.c, result: value };
+                evicted
+            }
+            ComputedCache::Unbounded(map) => {
+                map.insert(key, value);
+                false
+            }
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        match self {
+            ComputedCache::Lossy { slots, .. } => {
+                slots.capacity() * std::mem::size_of::<CacheSlot>()
+            }
+            ComputedCache::Unbounded(map) => map_bytes(map),
+        }
+    }
+
+    fn same_config(&self, other: &ComputedCache) -> bool {
+        match (self, other) {
+            (
+                ComputedCache::Lossy { capacity: a, .. },
+                ComputedCache::Lossy { capacity: b, .. },
+            ) => a == b,
+            (ComputedCache::Unbounded(_), ComputedCache::Unbounded(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// An empty cache with the same configuration (used to carry sizing
+    /// across reorder rebuilds).
+    fn fresh_like(&self) -> ComputedCache {
+        match self {
+            ComputedCache::Lossy { capacity, .. } => ComputedCache::lossy(*capacity),
+            ComputedCache::Unbounded(_) => ComputedCache::Unbounded(FxHashMap::default()),
+        }
+    }
 }
 
 /// A point-in-time view of the manager's tables (see
@@ -254,6 +442,7 @@ impl ManagerSnapshot {
             .field("cache_lookups", self.op_stats.cache_lookups)
             .field("cache_hits", self.op_stats.cache_hits)
             .field("cache_hit_rate", self.op_stats.cache_hit_rate())
+            .field("cache_evictions", self.op_stats.cache_evictions)
             .field("gc_runs", self.op_stats.gc_runs)
             .field("gc_nodes_reclaimed", self.op_stats.gc_nodes_reclaimed)
             .field("gc_time_s", self.op_stats.gc_time.as_secs_f64())
@@ -273,8 +462,17 @@ impl ManagerSnapshot {
 /// protected root is recycled. Handles to collected nodes become invalid.
 pub struct Bdd {
     nodes: Vec<Node>,
-    unique: FxHashMap<(u32, u32, u32), u32>,
-    pub(crate) cache: FxHashMap<CacheKey, u32>,
+    /// Bucket heads of the intrusive unique table (power-of-two length);
+    /// chains run through [`Node::next`].
+    heads: Vec<u32>,
+    /// Bucket heads of the previous, smaller table while an incremental
+    /// rehash is in flight (empty otherwise). Buckets below `migrated`
+    /// have already been moved into `heads`.
+    old_heads: Vec<u32>,
+    migrated: usize,
+    /// Live unique-table entries (non-terminal, non-freed nodes).
+    unique_entries: usize,
+    pub(crate) cache: ComputedCache,
     var2level: Vec<u32>,
     level2var: Vec<u32>,
     protected: FxHashMap<u32, u32>,
@@ -303,8 +501,11 @@ impl Bdd {
         assert!(num_vars <= MAX_VARS, "at most {MAX_VARS} variables supported");
         let mut mgr = Bdd {
             nodes: Vec::with_capacity(1024),
-            unique: FxHashMap::default(),
-            cache: FxHashMap::default(),
+            heads: vec![NIL; MIN_BUCKETS],
+            old_heads: Vec::new(),
+            migrated: 0,
+            unique_entries: 0,
+            cache: ComputedCache::lossy(DEFAULT_CACHE_ENTRIES),
             var2level: (0..num_vars as u32).collect(),
             level2var: (0..num_vars as u32).collect(),
             protected: FxHashMap::default(),
@@ -317,8 +518,8 @@ impl Bdd {
             analytics: crate::analytics::AnalyticsState::default(),
         };
         // Slots 0 and 1 are the terminals.
-        mgr.nodes.push(Node { var: TERMINAL_VAR, low: Func::ZERO, high: Func::ZERO });
-        mgr.nodes.push(Node { var: TERMINAL_VAR, low: Func::ONE, high: Func::ONE });
+        mgr.nodes.push(Node { var: TERMINAL_VAR, low: Func::ZERO, high: Func::ZERO, next: NIL });
+        mgr.nodes.push(Node { var: TERMINAL_VAR, low: Func::ONE, high: Func::ONE, next: NIL });
         mgr
     }
 
@@ -467,12 +668,37 @@ impl Bdd {
                 && self.var2level[var as usize] < self.level(high),
             "mk: children must be below x{var} in the variable order"
         );
-        let key = (var, low.0, high.0);
-        if let Some(&id) = self.unique.get(&key) {
-            self.op_stats.unique_hits += 1;
-            return Func(id);
+        if !self.old_heads.is_empty() {
+            self.migrate_buckets(MIGRATE_STEP);
         }
-        let node = Node { var, low, high };
+        let hash = hash::hash3(var, low.0, high.0);
+        let bucket = hash as usize & (self.heads.len() - 1);
+        let mut cur = self.heads[bucket];
+        while cur != NIL {
+            let node = &self.nodes[cur as usize];
+            if node.var == var && node.low == low && node.high == high {
+                self.op_stats.unique_hits += 1;
+                return Func(cur);
+            }
+            cur = node.next;
+        }
+        // During an incremental rehash the node may still sit in its
+        // not-yet-migrated old bucket.
+        if !self.old_heads.is_empty() {
+            let old_bucket = hash as usize & (self.old_heads.len() - 1);
+            if old_bucket >= self.migrated {
+                let mut cur = self.old_heads[old_bucket];
+                while cur != NIL {
+                    let node = &self.nodes[cur as usize];
+                    if node.var == var && node.low == low && node.high == high {
+                        self.op_stats.unique_hits += 1;
+                        return Func(cur);
+                    }
+                    cur = node.next;
+                }
+            }
+        }
+        let node = Node { var, low, high, next: self.heads[bucket] };
         let id = match self.free.pop() {
             Some(slot) => {
                 self.nodes[slot as usize] = node;
@@ -484,8 +710,45 @@ impl Bdd {
                 id
             }
         };
-        self.unique.insert(key, id);
+        self.heads[bucket] = id;
+        self.unique_entries += 1;
+        if self.old_heads.is_empty() && self.unique_entries * 4 > self.heads.len() * 3 {
+            self.grow_unique();
+        }
         Func(id)
+    }
+
+    /// Doubles the bucket array and starts an incremental rehash: old
+    /// buckets are drained [`MIGRATE_STEP`] at a time by subsequent `mk`
+    /// calls, so no single operation pays the full rehash. New inserts go
+    /// straight into the new table; lookups probe both until done.
+    fn grow_unique(&mut self) {
+        debug_assert!(self.old_heads.is_empty());
+        let new_len = self.heads.len() * 2;
+        self.old_heads = std::mem::replace(&mut self.heads, vec![NIL; new_len]);
+        self.migrated = 0;
+    }
+
+    fn migrate_buckets(&mut self, step: usize) {
+        let mask = self.heads.len() - 1;
+        for _ in 0..step {
+            if self.migrated == self.old_heads.len() {
+                break;
+            }
+            let mut cur = self.old_heads[self.migrated];
+            while cur != NIL {
+                let node = self.nodes[cur as usize];
+                let bucket = hash::hash3(node.var, node.low.0, node.high.0) as usize & mask;
+                self.nodes[cur as usize].next = self.heads[bucket];
+                self.heads[bucket] = cur;
+                cur = node.next;
+            }
+            self.migrated += 1;
+        }
+        if self.migrated == self.old_heads.len() {
+            self.old_heads = Vec::new();
+            self.migrated = 0;
+        }
     }
 
     /// Number of live (allocated, not freed) nodes including terminals.
@@ -545,16 +808,17 @@ impl Bdd {
                 stack.push(node.high.0);
             }
         }
-        let already_free: std::collections::HashSet<u32> = self.free.iter().copied().collect();
         let mut freed = 0;
         for id in 2..self.nodes.len() as u32 {
-            if !marked[id as usize] && !already_free.contains(&id) {
-                let node = self.nodes[id as usize];
-                self.unique.remove(&(node.var, node.low.0, node.high.0));
+            let node = &mut self.nodes[id as usize];
+            if !marked[id as usize] && node.var != FREE_VAR {
+                node.var = FREE_VAR;
                 self.free.push(id);
                 freed += 1;
             }
         }
+        self.unique_entries -= freed;
+        self.rebuild_unique(&marked);
         self.cache.clear();
         let elapsed = start.elapsed();
         self.op_stats.gc_runs += 1;
@@ -584,15 +848,61 @@ impl Bdd {
         freed
     }
 
+    /// GC-time compaction: rebuilds the bucket array sized to the
+    /// survivors (abandoning any in-flight incremental rehash) and relinks
+    /// every live node in increasing id order, so the table shape after a
+    /// collection is a deterministic function of the live node set.
+    fn rebuild_unique(&mut self, marked: &[bool]) {
+        self.old_heads = Vec::new();
+        self.migrated = 0;
+        let target = (self.unique_entries * 2).next_power_of_two().max(MIN_BUCKETS);
+        if self.heads.len() == target {
+            self.heads.fill(NIL);
+        } else {
+            self.heads = vec![NIL; target];
+        }
+        let mask = target - 1;
+        for (id, &live) in marked.iter().enumerate().skip(2) {
+            if live {
+                let node = self.nodes[id];
+                let bucket = hash::hash3(node.var, node.low.0, node.high.0) as usize & mask;
+                self.nodes[id].next = self.heads[bucket];
+                self.heads[bucket] = id as u32;
+            }
+        }
+    }
+
     /// Number of completed [`gc`](Bdd::gc) runs (diagnostics).
     pub fn gc_runs(&self) -> usize {
         self.gc_runs
     }
 
-    /// Clears the computed cache (useful in benchmarks to measure cold-cache
-    /// performance).
-    pub fn clear_cache(&mut self) {
+    /// Clears the computed cache: between decomposition outputs (so one
+    /// output's entries cannot alias the next output's work), and in
+    /// benchmarks to measure cold-cache performance.
+    pub fn clear_computed_cache(&mut self) {
         self.cache.clear();
+    }
+
+    /// Resizes the lossy computed cache to `entries` slots (rounded up to a
+    /// power of two, minimum 1), clearing it.
+    pub fn set_cache_capacity(&mut self, entries: usize) {
+        self.cache = ComputedCache::lossy(entries);
+    }
+
+    /// Replaces the lossy cache with an unbounded hash map — the
+    /// pre-kernel behaviour, kept as a differential-testing shim.
+    pub fn set_unbounded_cache(&mut self) {
+        self.cache = ComputedCache::Unbounded(FxHashMap::default());
+    }
+
+    /// Capacity of the lossy computed cache in entries, or `None` when the
+    /// unbounded shim is active.
+    pub fn cache_capacity(&self) -> Option<usize> {
+        match &self.cache {
+            ComputedCache::Lossy { capacity, .. } => Some(*capacity),
+            ComputedCache::Unbounded(_) => None,
+        }
     }
 
     pub(crate) fn set_order_raw(&mut self, var2level: Vec<u32>, level2var: Vec<VarId>) {
@@ -609,7 +919,7 @@ impl Bdd {
     #[inline]
     pub(crate) fn cache_get(&mut self, key: &CacheKey) -> Option<Func> {
         self.op_stats.cache_lookups += 1;
-        let hit = self.cache.get(key).copied();
+        let hit = self.cache.get(key);
         if hit.is_some() {
             self.op_stats.cache_hits += 1;
         }
@@ -619,7 +929,9 @@ impl Bdd {
 
     #[inline]
     pub(crate) fn cache_put(&mut self, key: CacheKey, value: Func) {
-        self.cache.insert(key, value.0);
+        if self.cache.put(key, value.0) {
+            self.op_stats.cache_evictions += 1;
+        }
     }
 
     /// Operation counters accumulated since construction (or the last
@@ -660,15 +972,13 @@ impl Bdd {
         }
         let fresh = std::mem::take(&mut self.op_stats);
         self.op_stats = old.op_stats;
-        self.op_stats.mk_calls += fresh.mk_calls;
-        self.op_stats.unique_hits += fresh.unique_hits;
-        self.op_stats.apply_steps += fresh.apply_steps;
-        self.op_stats.cache_lookups += fresh.cache_lookups;
-        self.op_stats.cache_hits += fresh.cache_hits;
-        self.op_stats.gc_runs += fresh.gc_runs;
-        self.op_stats.gc_nodes_reclaimed += fresh.gc_nodes_reclaimed;
-        self.op_stats.gc_time += fresh.gc_time;
+        self.op_stats.merge(&fresh);
         self.analytics.absorb(&old.analytics);
+        // The rebuilt manager must keep the configured cache geometry
+        // (size-1 cache, unbounded shim, …) across a reorder.
+        if !self.cache.same_config(&old.cache) {
+            self.cache = old.cache.fresh_like();
+        }
     }
 
     /// The always-on analytics counters (per-op cache traffic, GC sample
@@ -683,17 +993,39 @@ impl Bdd {
         self.analytics.reorders += 1;
     }
 
-    /// Estimated unique-table probe-length distribution (one pass over the
-    /// table; see [`crate::analytics::ProbeStats`]).
+    /// Exact unique-table probe-length distribution, from walking the real
+    /// intrusive chains (see [`crate::analytics::ProbeStats`]). Nodes still
+    /// sitting in not-yet-migrated old buckets are counted toward the new
+    /// bucket they will land in.
     pub(crate) fn unique_probe_stats(&self) -> crate::analytics::ProbeStats {
-        crate::analytics::probe_stats(self.unique.keys().copied(), self.unique.capacity())
+        let mask = self.heads.len() - 1;
+        let mut occupancy = vec![0u32; self.heads.len()];
+        for (bucket, &head) in self.heads.iter().enumerate() {
+            let mut cur = head;
+            while cur != NIL {
+                occupancy[bucket] += 1;
+                cur = self.nodes[cur as usize].next;
+            }
+        }
+        if !self.old_heads.is_empty() {
+            for &head in &self.old_heads[self.migrated..] {
+                let mut cur = head;
+                while cur != NIL {
+                    let node = &self.nodes[cur as usize];
+                    let bucket = hash::hash3(node.var, node.low.0, node.high.0) as usize & mask;
+                    occupancy[bucket] += 1;
+                    cur = node.next;
+                }
+            }
+        }
+        crate::analytics::probe_stats_from_occupancy(&occupancy)
     }
 
     /// Current heap footprint of the three dominant allocations, in bytes
     /// (capacity-based; see [`MemReport`]).
     pub fn current_mem_bytes(&self) -> usize {
-        map_bytes(&self.unique)
-            + map_bytes(&self.cache)
+        (self.heads.capacity() + self.old_heads.capacity()) * std::mem::size_of::<u32>()
+            + self.cache.bytes()
             + self.nodes.capacity() * std::mem::size_of::<Node>()
             + self.free.capacity() * std::mem::size_of::<u32>()
     }
@@ -715,8 +1047,9 @@ impl Bdd {
     /// The peak is at least the *current* total, so a caller that never
     /// triggered a GC still gets a meaningful figure.
     pub fn mem_report(&self) -> MemReport {
-        let unique_table_bytes = map_bytes(&self.unique);
-        let computed_cache_bytes = map_bytes(&self.cache);
+        let unique_table_bytes =
+            (self.heads.capacity() + self.old_heads.capacity()) * std::mem::size_of::<u32>();
+        let computed_cache_bytes = self.cache.bytes();
         let node_slab_bytes = self.nodes.capacity() * std::mem::size_of::<Node>()
             + self.free.capacity() * std::mem::size_of::<u32>();
         let total_bytes = unique_table_bytes + computed_cache_bytes + node_slab_bytes;
@@ -766,13 +1099,13 @@ impl Bdd {
         self.op_timing.as_deref()
     }
 
-    /// Unique-table load factor: entries over allocated capacity, in
-    /// `[0, 1]` (0 when nothing has been allocated yet).
+    /// Unique-table load factor: entries over bucket count, in `[0, 1]`
+    /// in steady state (grows are triggered at 3/4).
     pub fn unique_load_factor(&self) -> f64 {
-        if self.unique.capacity() == 0 {
+        if self.unique_entries == 0 {
             0.0
         } else {
-            self.unique.len() as f64 / self.unique.capacity() as f64
+            self.unique_entries as f64 / self.heads.len() as f64
         }
     }
 
@@ -781,7 +1114,7 @@ impl Bdd {
         ManagerSnapshot {
             total_nodes: self.total_nodes(),
             free_nodes: self.free.len(),
-            unique_entries: self.unique.len(),
+            unique_entries: self.unique_entries,
             unique_load_factor: self.unique_load_factor(),
             cache_entries: self.cache.len(),
             op_stats: self.op_stats,
@@ -799,6 +1132,7 @@ impl Bdd {
         rec.gauge("bdd.unique.load_factor", snap.unique_load_factor);
         rec.gauge("bdd.cache.entries", snap.cache_entries as f64);
         rec.gauge("bdd.cache.hit_rate", snap.op_stats.cache_hit_rate());
+        rec.gauge("bdd.cache.evictions", snap.op_stats.cache_evictions as f64);
         self.emit_mem_gauges(rec);
     }
 }
@@ -1107,6 +1441,170 @@ mod tests {
         let h = mgr.op_latency().expect("op timing survives reorder");
         assert!(h.count() >= samples_before, "samples survive reorder");
         assert_eq!(roots.len(), 1);
+    }
+
+    #[test]
+    fn unique_table_stays_canonical_across_growth() {
+        // The 512 minterms of 9 variables form a trie of ~1000 distinct
+        // nodes — several doublings past MIN_BUCKETS — with lookups of old
+        // nodes landing mid-rehash throughout.
+        let mut mgr = Bdd::new(9);
+        let mut triples = Vec::new();
+        let mut minterms = Vec::new();
+        for i in 0..512u32 {
+            let mut f = mgr.one();
+            for v in 0..9 {
+                let x = mgr.literal(v, (i >> v) & 1 == 1);
+                f = mgr.and(x, f);
+            }
+            if !f.is_const() {
+                let n = *mgr.node(f);
+                triples.push((n.var, n.low, n.high, f));
+            }
+            minterms.push((i, f));
+        }
+        assert!(mgr.total_nodes() > MIN_BUCKETS, "test must outgrow the initial table");
+        // Re-making any recorded node returns the identical handle and
+        // allocates nothing.
+        let allocated_before = mgr.op_stats().nodes_allocated();
+        for (var, low, high, expect) in triples {
+            assert_eq!(mgr.mk(var, low, high), expect);
+        }
+        assert_eq!(mgr.op_stats().nodes_allocated(), allocated_before);
+        // Every minterm still evaluates to exactly its assignment.
+        for (i, f) in minterms.iter().step_by(37) {
+            let assignment: Vec<bool> = (0..9).map(|v| (i >> v) & 1 == 1).collect();
+            assert!(mgr.eval(*f, &assignment));
+        }
+        let snap_entries = mgr.telemetry_snapshot().unique_entries;
+        assert_eq!(snap_entries, mgr.total_nodes() - 2, "every live non-terminal is an entry");
+        let probe = mgr.unique_probe_stats();
+        assert_eq!(probe.entries, snap_entries, "chains cover every entry exactly once");
+        let lf = mgr.unique_load_factor();
+        assert!(lf > 0.0 && lf <= 1.0, "load factor bounded by the grow policy, got {lf}");
+    }
+
+    #[test]
+    fn lossy_cache_evicts_and_counts() {
+        let mut mgr = Bdd::new(8);
+        mgr.set_cache_capacity(1);
+        assert_eq!(mgr.cache_capacity(), Some(1));
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let c = mgr.var(2);
+        let _ = mgr.and(a, b);
+        let _ = mgr.or(b, c);
+        let _ = mgr.xor(a, c);
+        let stats = mgr.op_stats();
+        assert!(stats.cache_evictions > 0, "a one-slot cache must evict");
+        assert!(mgr.cache_entries() <= 1);
+        // Results stay correct regardless.
+        let f = mgr.and(a, b);
+        assert!(mgr.eval(f, &[true, true, false, false, false, false, false, false]));
+    }
+
+    #[test]
+    fn unbounded_shim_never_evicts() {
+        let mut mgr = Bdd::new(8);
+        mgr.set_unbounded_cache();
+        assert_eq!(mgr.cache_capacity(), None);
+        let mut f = mgr.zero();
+        for v in 0..8 {
+            let x = mgr.var(v);
+            f = mgr.xor(f, x);
+        }
+        assert_eq!(mgr.op_stats().cache_evictions, 0);
+        assert!(mgr.cache_entries() > 0);
+    }
+
+    #[test]
+    fn clear_computed_cache_drops_entries_but_not_nodes() {
+        let mut mgr = Bdd::new(4);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = mgr.and(a, b);
+        assert!(mgr.cache_entries() > 0);
+        let nodes = mgr.total_nodes();
+        mgr.clear_computed_cache();
+        assert_eq!(mgr.cache_entries(), 0);
+        assert_eq!(mgr.total_nodes(), nodes);
+        // Same op re-runs (a cache miss) but returns the canonical handle.
+        let g = mgr.and(a, b);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn gc_compacts_and_stays_canonical() {
+        let mut mgr = Bdd::new(12);
+        // Grow the table well past MIN_BUCKETS, keep one root, collect.
+        let mut keep = mgr.one();
+        for v in 0..12 {
+            let x = mgr.var(v);
+            keep = mgr.and(keep, x);
+        }
+        let mut scratch = mgr.zero();
+        for round in 0..30 {
+            for v in 0..12 {
+                let x = mgr.var(v);
+                let t = if round % 2 == 0 { mgr.or(scratch, x) } else { mgr.xor(scratch, x) };
+                scratch = t;
+            }
+        }
+        mgr.protect(keep);
+        let freed = mgr.gc();
+        assert!(freed > 0);
+        let snap = mgr.telemetry_snapshot();
+        assert_eq!(snap.unique_entries, mgr.total_nodes() - 2);
+        let probe = mgr.unique_probe_stats();
+        assert_eq!(probe.entries, snap.unique_entries);
+        // The kept conjunction still resolves node-by-node via mk hits.
+        let mut expect = mgr.one();
+        for v in (0..12).rev() {
+            expect = mgr.mk(v, Func::ZERO, expect);
+        }
+        assert_eq!(expect, keep);
+        mgr.unprotect(keep);
+    }
+
+    #[test]
+    fn op_stats_merge_sums_every_counter() {
+        let mut a = OpStats {
+            mk_calls: 1,
+            unique_hits: 2,
+            cache_lookups: 3,
+            cache_hits: 4,
+            cache_evictions: 5,
+            apply_steps: 6,
+            gc_runs: 7,
+            gc_nodes_reclaimed: 8,
+            gc_time: Duration::from_millis(9),
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.mk_calls, 2);
+        assert_eq!(a.cache_evictions, 10);
+        assert_eq!(a.gc_time, Duration::from_millis(18));
+        assert_eq!(b.nodes_allocated(), 0, "hits exceed calls saturates to zero");
+        assert_eq!(
+            OpStats { mk_calls: 9, unique_hits: 4, ..OpStats::default() }.nodes_allocated(),
+            5
+        );
+    }
+
+    #[test]
+    fn mem_report_merge_sums_components_and_peaks() {
+        let a = MemReport {
+            unique_table_bytes: 1,
+            computed_cache_bytes: 2,
+            node_slab_bytes: 3,
+            total_bytes: 6,
+            peak_bytes: 10,
+        };
+        let mut m = a;
+        m.merge(&a);
+        assert_eq!(m.total_bytes, 12);
+        assert_eq!(m.peak_bytes, 20);
+        assert_eq!(m.unique_table_bytes + m.computed_cache_bytes + m.node_slab_bytes, 12);
     }
 
     #[test]

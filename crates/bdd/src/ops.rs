@@ -264,6 +264,32 @@ impl Bdd {
         if g.is_zero() && h.is_one() {
             return self.not_rec(f);
         }
+        // Standard-triple normalization: route degenerate triples through
+        // the canonical binary-op cache slots instead of a private Ite
+        // entry, so `ite(f, 1, h)` and `or(f, h)` share one cached result.
+        if g.is_one() {
+            return self.apply_prim(CacheOp::Or, f, h);
+        }
+        if h.is_zero() {
+            return self.apply_prim(CacheOp::And, f, g);
+        }
+        if g.is_zero() {
+            // ite(f, 0, h) = ¬f·h = h − f.
+            return self.apply_prim(CacheOp::Diff, h, f);
+        }
+        if h.is_one() {
+            // ite(f, g, 1) = ¬f + g.
+            let nf = self.not_rec(f);
+            return self.apply_prim(CacheOp::Or, nf, g);
+        }
+        if f == g {
+            // ite(f, f, h) = f + h.
+            return self.apply_prim(CacheOp::Or, f, h);
+        }
+        if f == h {
+            // ite(f, g, f) = f·g.
+            return self.apply_prim(CacheOp::And, f, g);
+        }
         let key = CacheKey { op: CacheOp::Ite, a: f.0, b: g.0, c: h.0 };
         if let Some(hit) = self.cache_get(&key) {
             return hit;
@@ -387,6 +413,35 @@ mod tests {
         assert_eq!(mgr.ite(s, Func::ONE, Func::ZERO), s);
         let ns = mgr.not(s);
         assert_eq!(mgr.ite(s, Func::ZERO, Func::ONE), ns);
+    }
+
+    #[test]
+    fn ite_standard_triples_reduce_to_binary_ops() {
+        let mut mgr = Bdd::new(3);
+        let f = mgr.var(0);
+        let g = mgr.var(1);
+        let h = mgr.var(2);
+        let fg = mgr.and(f, g);
+        let fh = mgr.or(f, h);
+        // Degenerate triples equal their binary forms…
+        assert_eq!(mgr.ite(f, Func::ONE, h), fh);
+        assert_eq!(mgr.ite(f, g, Func::ZERO), fg);
+        assert_eq!(mgr.ite(f, f, h), fh);
+        assert_eq!(mgr.ite(f, g, f), fg);
+        let nf = mgr.not(f);
+        let nf_or_g = mgr.or(nf, g);
+        assert_eq!(mgr.ite(f, g, Func::ONE), nf_or_g);
+        let h_minus_f = mgr.diff(h, f);
+        assert_eq!(mgr.ite(f, Func::ZERO, h), h_minus_f);
+        // …and hit the *binary* cache slot the precomputed op populated.
+        let before = mgr.op_stats();
+        let _ = mgr.ite(f, Func::ONE, h);
+        let after = mgr.op_stats();
+        assert_eq!(
+            after.cache_hits,
+            before.cache_hits + 1,
+            "normalized triple shares or(f,h)'s slot"
+        );
     }
 
     #[test]

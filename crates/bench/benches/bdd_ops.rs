@@ -31,7 +31,7 @@ fn main() {
         let f = sym9_bdd(&mut mgr);
         let g = mgr.not(f);
         h.bench("and_or_xor_sym9", || {
-            mgr.clear_cache();
+            mgr.clear_computed_cache();
             let x = mgr.and(black_box(f), black_box(g));
             let y = mgr.or(f, g);
             let z = mgr.xor(f, g);
@@ -44,7 +44,7 @@ fn main() {
         let f = sym9_bdd(&mut mgr);
         let cube = mgr.cube(&VarSet::from_iter([0u32, 2, 4, 6]));
         h.bench("exists_forall_sym9", || {
-            mgr.clear_cache();
+            mgr.clear_computed_cache();
             let e = mgr.exists(black_box(f), cube);
             let a = mgr.forall(f, cube);
             black_box((e, a))
@@ -67,7 +67,7 @@ fn main() {
         let ca = mgr.cube(&VarSet::from_iter(0u32..8));
         let cb = mgr.cube(&VarSet::from_iter(8u32..16));
         h.bench("theorem1_check", || {
-            mgr.clear_cache();
+            mgr.clear_computed_cache();
             let ra = mgr.exists(black_box(r), ca);
             let rb = mgr.exists(r, cb);
             let t = mgr.and(ra, rb);

@@ -2,11 +2,12 @@
 //! regression — the CI perf gate.
 //!
 //! Usage: `diff BASELINE CURRENT [--max-time-regress PCT]
-//! [--max-gates-regress PCT] [--min-time-ms MS]`
+//! [--max-gates-regress PCT] [--max-nodes-regress PCT] [--min-time-ms MS]`
 //!
 //! Thresholds are percentages (`--max-time-regress 10` allows +10%
 //! time). Benchmarks faster than `--min-time-ms` in both reports skip the
-//! time check (clock noise). Defaults: 10% time, 0% gates, 10 ms floor.
+//! time check (clock noise). Defaults: 10% time, 0% gates, 10% node
+//! allocations, 10 ms floor.
 //!
 //! Exit codes: 0 clean, 1 regression, 2 usage or unreadable input.
 
@@ -16,7 +17,7 @@ use obs::json::Json;
 fn usage() -> ! {
     eprintln!(
         "usage: diff BASELINE CURRENT [--max-time-regress PCT] \
-         [--max-gates-regress PCT] [--min-time-ms MS]"
+         [--max-gates-regress PCT] [--max-nodes-regress PCT] [--min-time-ms MS]"
     );
     std::process::exit(2);
 }
@@ -46,6 +47,7 @@ fn main() {
         match arg.as_str() {
             "--max-time-regress" => thresholds.max_time_regress = parse_pct(&mut it) / 100.0,
             "--max-gates-regress" => thresholds.max_gates_regress = parse_pct(&mut it) / 100.0,
+            "--max-nodes-regress" => thresholds.max_nodes_regress = parse_pct(&mut it) / 100.0,
             "--min-time-ms" => thresholds.min_time_s = parse_pct(&mut it) / 1000.0,
             other if !other.starts_with('-') => positional.push(other.to_owned()),
             _ => usage(),

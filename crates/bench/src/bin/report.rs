@@ -5,9 +5,12 @@
 //! past the doctor; findings are echoed to stderr so a slow report run
 //! explains itself.
 //!
-//! Usage: `report [--small] [OUTPUT]` (default `BENCH_bidecomp.json`).
-//! `--small` runs the quick subset (`benchmarks::small()`) — the set the
-//! CI perf gate regenerates on every push.
+//! Usage: `report [--small] [--threads N] [OUTPUT]` (default
+//! `BENCH_bidecomp.json`). `--small` runs the quick subset
+//! (`benchmarks::small()`) — the set the CI perf gate regenerates on every
+//! push. `--threads N` decomposes outputs on `N` worker threads (the
+//! netlist is byte-identical at any thread count; the `threads` field of
+//! each record says what ran).
 
 use std::fs::File;
 use std::io::BufWriter;
@@ -19,19 +22,26 @@ use obs::json::Json;
 
 fn main() {
     let mut small = false;
+    let mut threads = 1usize;
     let mut path = "BENCH_bidecomp.json".to_owned();
-    for arg in std::env::args().skip(1) {
+    let usage = || -> ! {
+        eprintln!("usage: report [--small] [--threads N] [OUTPUT]");
+        std::process::exit(2);
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--small" => small = true,
+            "--threads" => match it.next().as_deref().map(str::parse::<usize>) {
+                Some(Ok(n)) if n >= 1 => threads = n,
+                _ => usage(),
+            },
             other if !other.starts_with('-') => path = other.to_owned(),
-            _ => {
-                eprintln!("usage: report [--small] [OUTPUT]");
-                std::process::exit(2);
-            }
+            _ => usage(),
         }
     }
     let suite = if small { benchmarks::small() } else { benchmarks::all() };
-    let options = Options::default();
+    let options = Options { threads, ..Options::default() };
     let doctor_cfg = DoctorConfig::default();
     let mut records = Vec::new();
     for b in suite {

@@ -20,6 +20,13 @@ pub struct Thresholds {
     /// Allowed fractional gate-count increase (0.0 = any growth fails).
     /// Gate counts are deterministic, so the default is strict.
     pub max_gates_regress: f64,
+    /// Allowed fractional increase of `bdd.nodes_allocated` (fresh
+    /// unique-table insertions — the memory-churn dimension of the kernel).
+    /// Deterministic single-threaded, but parallel runs rebuild
+    /// specifications per worker, so CI passes a generous budget on the
+    /// multi-thread gate. Skipped when the baseline reports 0 allocations
+    /// (pre-v4 baselines lack the counter).
+    pub max_nodes_regress: f64,
     /// Benchmarks faster than this (in *both* reports) skip the time
     /// check: sub-threshold runs are dominated by clock noise.
     pub min_time_s: f64,
@@ -27,7 +34,12 @@ pub struct Thresholds {
 
 impl Default for Thresholds {
     fn default() -> Self {
-        Thresholds { max_time_regress: 0.10, max_gates_regress: 0.0, min_time_s: 0.01 }
+        Thresholds {
+            max_time_regress: 0.10,
+            max_gates_regress: 0.0,
+            max_nodes_regress: 0.10,
+            min_time_s: 0.01,
+        }
     }
 }
 
@@ -44,6 +56,9 @@ pub struct DiffRow {
     pub levels: (f64, f64),
     /// Peak live BDD nodes.
     pub peak_nodes: (f64, f64),
+    /// Fresh unique-table insertions (`bdd.nodes_allocated`; 0 when a
+    /// report predates the v4 schema).
+    pub nodes_allocated: (f64, f64),
     /// Peak sampled manager bytes (0 when a report predates the `mem`
     /// section).
     pub peak_bytes: (f64, f64),
@@ -94,7 +109,7 @@ impl DiffReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:10} {:>8} {:>8} {:>7} | {:>6} {:>6} | {:>4} {:>4} | {:>9} {:>9} | {:>9} {:>9}\n",
+            "{:10} {:>8} {:>8} {:>7} | {:>6} {:>6} | {:>4} {:>4} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}\n",
             "name",
             "time_a,s",
             "time_b,s",
@@ -105,6 +120,8 @@ impl DiffReport {
             "lvl",
             "nodes",
             "nodes",
+            "alloc",
+            "alloc",
             "bytes",
             "bytes",
         ));
@@ -113,7 +130,7 @@ impl DiffReport {
             let dt = if ta > 0.0 { format!("{:+.0}%", (tb - ta) / ta * 100.0) } else { "-".into() };
             let mark = if row.regressions.is_empty() { ' ' } else { '!' };
             out.push_str(&format!(
-                "{:10} {:>8.3} {:>8.3} {:>7} | {:>6} {:>6} | {:>4} {:>4} | {:>9} {:>9} | {:>9} {:>9} {}\n",
+                "{:10} {:>8.3} {:>8.3} {:>7} | {:>6} {:>6} | {:>4} {:>4} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9} {}\n",
                 row.name,
                 ta,
                 tb,
@@ -124,6 +141,8 @@ impl DiffReport {
                 row.levels.1,
                 row.peak_nodes.0 as u64,
                 row.peak_nodes.1 as u64,
+                row.nodes_allocated.0 as u64,
+                row.nodes_allocated.1 as u64,
                 row.peak_bytes.0 as u64,
                 row.peak_bytes.1 as u64,
                 mark,
@@ -148,6 +167,7 @@ struct Cols {
     gates: f64,
     levels: f64,
     peak_nodes: f64,
+    nodes_allocated: f64,
     peak_bytes: f64,
 }
 
@@ -168,6 +188,7 @@ fn cols(record: &Json) -> Cols {
         gates: num(record, Some("netlist"), "gates"),
         levels: num(record, Some("netlist"), "cascades"),
         peak_nodes: num(record, Some("bdd"), "peak_nodes"),
+        nodes_allocated: num(record, Some("bdd"), "nodes_allocated"),
         peak_bytes: num(record, Some("mem"), "peak_bytes"),
     }
 }
@@ -254,12 +275,25 @@ pub fn diff_reports(
                 thresholds.max_gates_regress * 100.0
             ));
         }
+        // Baseline 0 = the counter predates the v4 schema; nothing to
+        // compare against.
+        if a.nodes_allocated > 0.0
+            && b.nodes_allocated > a.nodes_allocated * (1.0 + thresholds.max_nodes_regress)
+        {
+            regressions.push(format!(
+                "nodes_allocated {} → {} exceeds the +{:.0}% budget",
+                a.nodes_allocated,
+                b.nodes_allocated,
+                thresholds.max_nodes_regress * 100.0
+            ));
+        }
         report.rows.push(DiffRow {
             name: name.clone(),
             time: (a.time, b.time),
             gates: (a.gates, b.gates),
             levels: (a.levels, b.levels),
             peak_nodes: (a.peak_nodes, b.peak_nodes),
+            nodes_allocated: (a.nodes_allocated, b.nodes_allocated),
             peak_bytes: (a.peak_bytes, b.peak_bytes),
             regressions,
         });
@@ -287,11 +321,18 @@ mod tests {
     use super::*;
 
     fn record(name: &str, time: f64, gates: u64) -> Json {
+        record_with_nodes(name, time, gates, 5000)
+    }
+
+    fn record_with_nodes(name: &str, time: f64, gates: u64, nodes_allocated: u64) -> Json {
         Json::obj()
             .field("name", name)
             .field("time_s", time)
             .field("netlist", Json::obj().field("gates", gates).field("cascades", 3u64))
-            .field("bdd", Json::obj().field("peak_nodes", 100u64))
+            .field(
+                "bdd",
+                Json::obj().field("peak_nodes", 100u64).field("nodes_allocated", nodes_allocated),
+            )
             .field("mem", Json::obj().field("peak_bytes", 4096u64))
     }
 
@@ -344,6 +385,27 @@ mod tests {
         // Gate *improvements* never fail.
         let b = doc(vec![record("rd73", 0.5, 39)]);
         assert!(!diff_reports(&a, &b, &Thresholds::default()).expect("valid").has_regressions());
+    }
+
+    #[test]
+    fn node_allocation_growth_past_threshold_regresses() {
+        let a = doc(vec![record_with_nodes("rd73", 0.5, 40, 5000)]);
+        let b = doc(vec![record_with_nodes("rd73", 0.5, 40, 6000)]);
+        let diff = diff_reports(&a, &b, &Thresholds::default()).expect("valid");
+        assert!(diff.has_regressions(), "+20% allocations against a 10% budget");
+        assert!(diff.regressions()[0].contains("nodes_allocated"));
+        assert_eq!(diff.rows[0].nodes_allocated, (5000.0, 6000.0));
+        // A generous budget (the CI multi-thread gate) accepts the delta…
+        let loose = Thresholds { max_nodes_regress: 5.0, ..Thresholds::default() };
+        assert!(!diff_reports(&a, &b, &loose).expect("valid").has_regressions());
+        // …improvements never fail…
+        let better = doc(vec![record_with_nodes("rd73", 0.5, 40, 4000)]);
+        assert!(!diff_reports(&a, &better, &Thresholds::default())
+            .expect("valid")
+            .has_regressions());
+        // …and a pre-v4 baseline (counter absent or 0) skips the check.
+        let zero = doc(vec![record_with_nodes("rd73", 0.5, 40, 0)]);
+        assert!(!diff_reports(&zero, &b, &Thresholds::default()).expect("valid").has_regressions());
     }
 
     #[test]

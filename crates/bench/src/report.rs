@@ -22,7 +22,10 @@ use pla::Pla;
 /// computed-cache hit rates, GC efficacy, reorder count, component-cache
 /// reuse) and `timeseries` (the background resource sampler) sections,
 /// plus a top-level `obs` section with the trace-sink write-error count.
-pub const REPORT_SCHEMA: &str = "bidecomp-bench/v3";
+/// v4 adds the per-record `threads` field (worker threads the run used)
+/// and the `bdd.nodes_allocated` / `bdd.cache_evictions` counters of the
+/// kernel-grade manager.
+pub const REPORT_SCHEMA: &str = "bidecomp-bench/v4";
 
 /// Runs BI-DECOMP on one benchmark (with telemetry on, so the
 /// recursion-depth histogram is populated) and builds its report record.
@@ -41,6 +44,7 @@ pub fn record_from_outcome(name: &str, outcome: &DecompOutcome) -> Json {
         .field("name", name)
         .field("verified", outcome.verified)
         .field("time_s", outcome.elapsed.as_secs_f64())
+        .field("threads", outcome.threads)
         .field("netlist", outcome.netlist.stats().to_json())
         .field("phases", outcome.phases.to_json())
         .field(
@@ -49,10 +53,12 @@ pub fn record_from_outcome(name: &str, outcome: &DecompOutcome) -> Json {
                 .field("peak_nodes", outcome.bdd_nodes)
                 .field("mk_calls", op.mk_calls)
                 .field("unique_hits", op.unique_hits)
+                .field("nodes_allocated", op.nodes_allocated())
                 .field("apply_steps", op.apply_steps)
                 .field("cache_lookups", op.cache_lookups)
                 .field("cache_hits", op.cache_hits)
                 .field("cache_hit_rate", op.cache_hit_rate())
+                .field("cache_evictions", op.cache_evictions)
                 .field("gc_runs", op.gc_runs)
                 .field("gc_nodes_reclaimed", op.gc_nodes_reclaimed)
                 .field("gc_time_s", op.gc_time.as_secs_f64()),
@@ -152,6 +158,13 @@ mod tests {
         assert_eq!(netlist.get("gates").and_then(Json::as_f64), Some(3.0));
         let bdd = record.get("bdd").expect("bdd counters");
         assert!(bdd.get("mk_calls").and_then(Json::as_f64).unwrap() > 0.0);
+        // v4: thread count and the kernel counters.
+        assert_eq!(record.get("threads").and_then(Json::as_f64), Some(1.0));
+        let allocated = bdd.get("nodes_allocated").and_then(Json::as_f64).unwrap();
+        assert!(
+            allocated > 0.0 && allocated <= bdd.get("mk_calls").and_then(Json::as_f64).unwrap()
+        );
+        assert!(bdd.get("cache_evictions").and_then(Json::as_f64).is_some());
         let decomp = record.get("decomp").expect("decomp stats");
         assert!(decomp.get("calls").and_then(Json::as_f64).unwrap() >= 1.0);
         let histogram = decomp.get("depth_histogram").and_then(Json::as_arr).expect("histogram");

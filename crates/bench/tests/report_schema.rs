@@ -1,16 +1,17 @@
 //! Golden test for the `BENCH_bidecomp.json` schema: the document the
 //! `report` binary writes must parse with the workspace JSON parser and
-//! keep the `bidecomp-bench/v3` record shape stable.
+//! keep the `bidecomp-bench/v4` record shape stable.
 
 use bench::report::{bench_record, report_document, write_report, REPORT_SCHEMA};
 use bidecomp::Options;
 use obs::json::Json;
 
 /// The top-level keys of one record, in schema order.
-const RECORD_KEYS: [&str; 10] = [
+const RECORD_KEYS: [&str; 11] = [
     "name",
     "verified",
     "time_s",
+    "threads",
     "netlist",
     "phases",
     "bdd",
@@ -22,14 +23,16 @@ const RECORD_KEYS: [&str; 10] = [
 const NETLIST_KEYS: [&str; 8] =
     ["inputs", "outputs", "gates", "exors", "inverters", "cascades", "area", "delay"];
 const PHASE_KEYS: [&str; 4] = ["ordering_s", "bdd_build_s", "decompose_s", "verify_s"];
-const BDD_KEYS: [&str; 10] = [
+const BDD_KEYS: [&str; 12] = [
     "peak_nodes",
     "mk_calls",
     "unique_hits",
+    "nodes_allocated",
     "apply_steps",
     "cache_lookups",
     "cache_hits",
     "cache_hit_rate",
+    "cache_evictions",
     "gc_runs",
     "gc_nodes_reclaimed",
     "gc_time_s",
@@ -69,7 +72,7 @@ fn suite_document() -> Json {
 }
 
 #[test]
-fn report_document_matches_the_v3_schema() {
+fn report_document_matches_the_v4_schema() {
     let document = suite_document();
     let mut bytes = Vec::new();
     write_report(&document, &mut bytes).expect("in-memory write");
@@ -154,6 +157,16 @@ fn report_document_matches_the_v3_schema() {
         let total: f64 = histogram.iter().map(|n| n.as_f64().expect("numeric bucket")).sum();
         assert_eq!(total, calls, "histogram buckets sum to the recursive call count");
         assert_eq!(decomp.get("max_depth").and_then(Json::as_f64), Some(histogram.len() as f64));
+        // v4: thread count and the kernel counters are consistent.
+        assert_eq!(record.get("threads").and_then(Json::as_f64), Some(1.0));
+        let bdd = record.get("bdd").expect("bdd");
+        let b = |k: &str| bdd.get(k).and_then(Json::as_f64).expect("numeric");
+        assert_eq!(
+            b("nodes_allocated"),
+            b("mk_calls") - b("unique_hits"),
+            "allocations are mk calls minus unique-table hits"
+        );
+        assert!(b("cache_evictions") <= b("cache_lookups"));
     }
 }
 

@@ -142,8 +142,10 @@ impl Decomposer {
                 None => netlist.add_input(format!("x{k}")),
             })
             .collect();
+        let mut mgr = Bdd::new(num_vars);
+        mgr.set_cache_capacity(options.cache_entries);
         Decomposer {
-            mgr: Bdd::new(num_vars),
+            mgr,
             netlist,
             inputs,
             cache: HashMap::new(),
@@ -276,6 +278,17 @@ impl Decomposer {
     /// (the manager still holds the component BDDs for verification).
     pub fn into_parts(self) -> (Netlist, Stats, Bdd) {
         (self.netlist, self.stats, self.mgr)
+    }
+
+    /// Clears the per-run memoization state between top-level outputs: the
+    /// §6 component-reuse cache and the manager's computed cache. Makes the
+    /// decomposition of each output independent of the outputs decomposed
+    /// before it, which is what keeps the serial and parallel drivers
+    /// byte-identical. The netlist's structural hashing still deduplicates
+    /// shared cones across outputs.
+    pub fn clear_between_outputs(&mut self) {
+        self.cache.clear();
+        self.mgr.clear_computed_cache();
     }
 
     /// Garbage-collects the BDD manager, keeping the cached components and

@@ -64,6 +64,15 @@ pub struct Options {
     /// Trigger a garbage collection between outputs when the manager
     /// exceeds this many live nodes.
     pub gc_threshold: usize,
+    /// Capacity (in entries, rounded up to a power of two) of the BDD
+    /// manager's lossy computed cache. Larger caches trade memory for hit
+    /// rate; results are identical at any size.
+    pub cache_entries: usize,
+    /// Worker threads for per-output decomposition. `1` (the default) runs
+    /// the serial path; `N > 1` decomposes outputs on `N` scoped threads,
+    /// each with its own BDD manager. The produced netlist is byte-identical
+    /// at any thread count.
+    pub threads: usize,
 }
 
 impl Default for Options {
@@ -78,6 +87,8 @@ impl Default for Options {
             trace: false,
             telemetry: false,
             gc_threshold: 2_000_000,
+            cache_entries: bdd::DEFAULT_CACHE_ENTRIES,
+            threads: 1,
         }
     }
 }
@@ -104,6 +115,8 @@ mod tests {
         let o = Options::default();
         assert!(o.use_exor && o.use_cache && o.use_strong);
         assert!(!o.telemetry, "telemetry is opt-in");
+        assert_eq!(o.threads, 1, "the paper's runs are single-threaded");
+        assert_eq!(o.cache_entries, bdd::DEFAULT_CACHE_ENTRIES);
         assert_eq!(Options::paper(), o);
         assert!(!Options::weak_only().use_strong);
     }
